@@ -1,0 +1,51 @@
+// Fig. 7 — Pose recovery accuracy comparison: BB-Align vs the VIPS-style
+// graph-matching baseline, as CDFs of translation and rotation error.
+//
+// Paper: ~60% of BB-Align estimates under 1 m translation error vs ~30%
+// for graph matching; rotation error comparable between the two.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bba;
+  bench::printHeader(
+      std::cout, "Fig. 7 — BB-Align vs graph matching (VIPS)",
+      "BB-Align beats VIPS on translation (60% vs 30% under 1 m); rotation "
+      "comparable");
+
+  const int n = bench::pairCount(60);
+  const BBAlign aligner;
+  const DatasetGenerator generator(bench::standardConfig(707));
+  Rng rng(7);
+  const auto evals =
+      bench::runPool(aligner, generator, n, rng, /*runVips=*/true);
+
+  std::vector<double> bbT, bbR, vT, vR;
+  int vipsFailed = 0;
+  for (const auto& e : evals) {
+    bbT.push_back(e.error.translation);
+    bbR.push_back(e.error.rotationDeg);
+    if (e.vips.ok) {
+      vT.push_back(e.vipsError.translation);
+      vR.push_back(e.vipsError.rotationDeg);
+    } else {
+      // A frame where graph matching finds no consistent assignment never
+      // contributes a sub-threshold error: count it at +inf so both CDFs
+      // cover the same frame pool.
+      ++vipsFailed;
+      vT.push_back(999.0);  // sentinel: counted, never under a threshold
+      vR.push_back(999.0);
+    }
+  }
+  std::cout << "pairs=" << evals.size()
+            << "  (VIPS produced no estimate on " << vipsFailed << ")\n";
+
+  bench::printCdfTable(std::cout, "Fig. 7a — Translation error", "m",
+                       {0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0},
+                       {{"BB-Align", bbT}, {"VIPS", vT}});
+  bench::printCdfTable(std::cout, "Fig. 7b — Rotation error", "deg",
+                       {0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 10.0},
+                       {{"BB-Align", bbR}, {"VIPS", vR}});
+  return 0;
+}

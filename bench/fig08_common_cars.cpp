@@ -1,0 +1,54 @@
+// Fig. 8 — Translation error vs the number of commonly observed cars, for
+// BB-Align and the VIPS-style graph matcher (box-plot percentiles).
+//
+// Paper: graph matching needs dense traffic (it collapses below ~3 common
+// cars and improves with more), while BB-Align stays accurate throughout
+// and never falls behind.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bba;
+  bench::printHeader(
+      std::cout, "Fig. 8 — accuracy vs commonly observed cars",
+      "VIPS degrades sharply in light traffic; BB-Align stays accurate");
+
+  const int n = bench::pairCount(80);
+  const BBAlign aligner;
+  DatasetConfig cfg = bench::standardConfig(808);
+  cfg.minCommonCars = 1;  // include light-traffic scenes in the sweep
+  cfg.minMovingVehicles = 0;
+  cfg.minParkedVehicles = 2;
+  const DatasetGenerator generator(cfg);
+  Rng rng(8);
+  const auto evals =
+      bench::runPool(aligner, generator, n, rng, /*runVips=*/true);
+
+  struct Bucket {
+    const char* label;
+    int lo, hi;
+  };
+  const Bucket buckets[] = {
+      {"1-2 cars", 1, 2}, {"3-5 cars", 3, 5}, {"6-9 cars", 6, 9},
+      {">=10 cars", 10, 1000}};
+
+  std::vector<bench::Series> bba, vips;
+  for (const Bucket& b : buckets) {
+    std::vector<double> tb, tv;
+    for (const auto& e : evals) {
+      if (e.commonCars < b.lo || e.commonCars > b.hi) continue;
+      tb.push_back(e.error.translation);
+      // 999 m sentinel: a failed estimate never lands under a percentile.
+      tv.push_back(e.vips.ok ? e.vipsError.translation : 999.0);
+    }
+    bba.emplace_back(b.label, std::move(tb));
+    vips.emplace_back(b.label, std::move(tv));
+  }
+  bench::printBoxTable(std::cout, "Fig. 8a — BB-Align translation error",
+                       "m", bba);
+  bench::printBoxTable(std::cout,
+                       "Fig. 8b — Graph matching (VIPS) translation error",
+                       "m", vips);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 11 — Accuracy of BV image matching (stage 1) ALONE across distance
+// bins.
+//
+// Paper: shorter distances are more accurate, but even at < 20 m the
+// stage-1-only accuracy does not reach the full two-stage pipeline's
+// accuracy — motivating the second stage.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bba;
+  bench::printHeader(std::cout,
+                     "Fig. 11 — stage 1 (BV matching) alone vs distance",
+                     "stage 1 alone is distance-sensitive and never as "
+                     "accurate as the full pipeline");
+
+  const int n = bench::pairCount(80);
+  const BBAlign aligner;
+  DatasetConfig cfg = bench::standardConfig(1111);
+  cfg.maxSeparation = 100.0;
+  const DatasetGenerator generator(cfg);
+  Rng rng(11);
+  const auto evals = bench::runPool(aligner, generator, n, rng);
+
+  struct Band {
+    const char* label;
+    double lo, hi;
+  };
+  const Band bands[] = {{"[0,20) m", 0, 20},
+                        {"[20,40) m", 20, 40},
+                        {"[40,70) m", 40, 70},
+                        {"[70,100) m", 70, 100}};
+
+  std::vector<bench::Series> s1T, s1R;
+  std::vector<double> fullT;
+  for (const Band& b : bands) {
+    std::vector<double> t, r;
+    for (const auto& e : evals) {
+      if (e.distance < b.lo || e.distance >= b.hi) continue;
+      t.push_back(e.errorStage1.translation);
+      r.push_back(e.errorStage1.rotationDeg);
+    }
+    s1T.emplace_back(b.label, std::move(t));
+    s1R.emplace_back(b.label, std::move(r));
+  }
+  for (const auto& e : evals) fullT.push_back(e.error.translation);
+
+  bench::printCdfTable(std::cout,
+                       "Fig. 11a — stage-1-only translation error by distance",
+                       "m", {0.5, 1.0, 2.0, 5.0}, s1T);
+  bench::printCdfTable(std::cout,
+                       "Fig. 11b — stage-1-only rotation error by distance",
+                       "deg", {0.5, 1.0, 2.0, 5.0}, s1R);
+  bench::printCdfTable(
+      std::cout,
+      "Reference — FULL two-stage pipeline translation error (all distances)",
+      "m", {0.5, 1.0, 2.0, 5.0}, {{"full pipeline", fullT}});
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Runtime microbenchmarks (google-benchmark): the cost of each BB-Align
+// stage. The paper's future work targets BV-matching time efficiency; this
+// bench quantifies where the time goes.
+#include <benchmark/benchmark.h>
+
+#include "bev/bev_image.hpp"
+#include "core/bb_align.hpp"
+#include "dataset/generator.hpp"
+#include "features/mim.hpp"
+#include "match/ransac.hpp"
+
+namespace bba {
+namespace {
+
+const FramePair& fixturePair() {
+  static const FramePair pair = [] {
+    DatasetConfig cfg;
+    cfg.seed = 77;
+    cfg.minSeparation = 30.0;
+    cfg.maxSeparation = 40.0;
+    return *DatasetGenerator(cfg).generatePair(0);
+  }();
+  return pair;
+}
+
+const BBAlign& fixtureAligner() {
+  static const BBAlign aligner;
+  return aligner;
+}
+
+void BM_Fft2d256(benchmark::State& state) {
+  ComplexImage img(256, 256);
+  for (int i = 0; i < 256 * 256; ++i)
+    img.data()[static_cast<std::size_t>(i)] =
+        Complexf(static_cast<float>(i % 13), 0.0f);
+  for (auto _ : state) {
+    fft2d(img, false);
+    fft2d(img, true);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_Fft2d256);
+
+void BM_BvImage(benchmark::State& state) {
+  const FramePair& pair = fixturePair();
+  const BevParams bev;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(makeHeightBV(pair.egoCloud, bev));
+  }
+}
+BENCHMARK(BM_BvImage);
+
+void BM_MimComputation(benchmark::State& state) {
+  const FramePair& pair = fixturePair();
+  const BevParams bev;
+  const ImageF bv = makeHeightBV(pair.egoCloud, bev);
+  const LogGaborBank bank(bv.width(), bv.height());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(computeMim(bv, bank));
+  }
+}
+BENCHMARK(BM_MimComputation);
+
+void BM_DescribeBvImage(benchmark::State& state) {
+  const FramePair& pair = fixturePair();
+  const BBAlign& aligner = fixtureAligner();
+  const CarPerceptionData data =
+      aligner.makeCarData(pair.egoCloud, pair.egoDets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.describe(data.bvImage));
+  }
+}
+BENCHMARK(BM_DescribeBvImage);
+
+void BM_EndToEndRecover(benchmark::State& state) {
+  const FramePair& pair = fixturePair();
+  const BBAlign& aligner = fixtureAligner();
+  const CarPerceptionData ego =
+      aligner.makeCarData(pair.egoCloud, pair.egoDets);
+  const CarPerceptionData other =
+      aligner.makeCarData(pair.otherCloud, pair.otherDets);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.recover(other, ego, rng));
+  }
+}
+BENCHMARK(BM_EndToEndRecover);
+
+void BM_RansacRigid2D(benchmark::State& state) {
+  Rng rng(5);
+  const Pose2 truth{Vec2{3.0, -2.0}, 0.3};
+  std::vector<Vec2> src, dst;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    src.push_back(p);
+    if (i % 3 == 0) {
+      dst.push_back(Vec2{rng.uniform(-50, 50), rng.uniform(-50, 50)});
+    } else {
+      dst.push_back(truth.apply(p) +
+                    Vec2{rng.normal(0, 0.1), rng.normal(0, 0.1)});
+    }
+  }
+  const RansacParams prm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ransacRigid2D(src, dst, prm, rng));
+  }
+}
+BENCHMARK(BM_RansacRigid2D);
+
+}  // namespace
+}  // namespace bba

@@ -1,0 +1,25 @@
+# Benchmark targets, included from the top-level CMakeLists so that
+# ${CMAKE_BINARY_DIR}/bench contains ONLY runnable bench binaries
+# (the canonical runner is `for b in build/bench/*; do $b; done`).
+
+set(BBA_BENCH_DIR "${CMAKE_SOURCE_DIR}/bench")
+
+# Figure/table reproduction harnesses: plain executables, one per paper
+# experiment, each printing the paper's series as ASCII tables + CSV.
+file(GLOB BBA_FIG_BENCHES CONFIGURE_DEPENDS
+     "${BBA_BENCH_DIR}/fig*.cpp"
+     "${BBA_BENCH_DIR}/table*.cpp"
+     "${BBA_BENCH_DIR}/ablation*.cpp")
+foreach(bench_src ${BBA_FIG_BENCHES})
+  get_filename_component(bench_name ${bench_src} NAME_WE)
+  add_executable(${bench_name} ${bench_src} ${BBA_BENCH_DIR}/bench_common.cpp)
+  target_link_libraries(${bench_name} PRIVATE bba)
+  set_target_properties(${bench_name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+endforeach()
+
+# Runtime microbenchmarks (google-benchmark).
+add_executable(perf_micro ${BBA_BENCH_DIR}/perf_micro.cpp)
+target_link_libraries(perf_micro PRIVATE bba benchmark::benchmark benchmark::benchmark_main)
+set_target_properties(perf_micro PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")

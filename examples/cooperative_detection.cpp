@@ -1,0 +1,73 @@
+// Cooperative object detection with a corrupted GPS pose — the paper's
+// motivating scenario (Fig. 1) end to end.
+//
+// Two cars share perception. The informed pose is corrupted with Gaussian
+// noise (sigma_t = 2 m, sigma_theta = 2 deg). We run early fusion three
+// ways — with the true pose, with the corrupted pose, and with the pose
+// BB-Align recovers — and report the detection AP each achieves.
+//
+//   ./build/examples/example_cooperative_detection [numScenes]
+#include <iostream>
+#include <string>
+
+#include "core/bb_align.hpp"
+#include "dataset/generator.hpp"
+#include "fusion/ap.hpp"
+#include "fusion/fusion.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bba;
+  const int numScenes = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  DatasetConfig dataCfg;
+  dataCfg.seed = 4242;
+  const DatasetGenerator generator(dataCfg);
+  const BBAlign aligner;
+  const FusionConfig fusionCfg;
+  Rng rng(1);
+
+  std::vector<EvalFrame> gtFrames, noisyFrames, recoveredFrames;
+  int recovered = 0;
+  for (int i = 0; i < numScenes; ++i) {
+    const auto pair = generator.generatePair(i);
+    if (!pair) continue;
+
+    Pose2 noisy = pair->gtOtherToEgo;
+    noisy.t.x += rng.normal(0.0, 2.0);
+    noisy.t.y += rng.normal(0.0, 2.0);
+    noisy.theta = wrapAngle(noisy.theta + rng.normal(0.0, 2.0 * kDegToRad));
+
+    const CarPerceptionData egoData =
+        aligner.makeCarData(pair->egoCloud, pair->egoDets);
+    const CarPerceptionData otherData =
+        aligner.makeCarData(pair->otherCloud, pair->otherDets);
+    const PoseRecoveryResult rec = aligner.recover(otherData, egoData, rng);
+    const Pose2 used = rec.success ? rec.estimate : noisy;
+    recovered += rec.success;
+
+    const EgoMotion em{pair->egoSpeed, pair->egoYawRate};
+    const EgoMotion om{pair->otherSpeed, pair->otherYawRate};
+    const auto detect = [&](const Pose2& pose) {
+      return cooperativeDetect(FusionMethod::Early, pair->egoCloud,
+                               pair->otherCloud, pose, fusionCfg, em, om);
+    };
+    gtFrames.push_back({detect(pair->gtOtherToEgo), pair->gtBoxesEgoFrame});
+    noisyFrames.push_back({detect(noisy), pair->gtBoxesEgoFrame});
+    recoveredFrames.push_back({detect(used), pair->gtBoxesEgoFrame});
+    std::cout << "scene " << i << ": recovery "
+              << (rec.success ? "SUCCESS" : "fallback")
+              << " (inliers bv/box = " << rec.inliersBv << "/"
+              << rec.inliersBox << ")\n";
+  }
+
+  std::cout << "\nEarly-fusion detection over " << gtFrames.size()
+            << " scenes (pose recovered on " << recovered << "):\n";
+  const auto row = [&](const char* name, const std::vector<EvalFrame>& f) {
+    std::cout << "  " << name << "  AP@0.5 = " << averagePrecision(f, 0.5)
+              << "   AP@0.7 = " << averagePrecision(f, 0.7) << "\n";
+  };
+  row("ground-truth pose ", gtFrames);
+  row("corrupted pose    ", noisyFrames);
+  row("BB-Align recovered", recoveredFrames);
+  return 0;
+}

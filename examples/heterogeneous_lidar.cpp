@@ -1,0 +1,59 @@
+// Heterogeneous-sensor robustness: BB-Align matching BV images produced by
+// very different lidar units — the setting where classical 3-D
+// registration struggles (§II of the paper).
+//
+// The same scene is captured with every pairing of a 16-, 32- and
+// 64-channel sensor on the two cars; pose recovery runs on each pairing.
+//
+//   ./build/examples/example_heterogeneous_lidar
+#include <iomanip>
+#include <iostream>
+
+#include "core/metrics.hpp"
+#include "dataset/generator.hpp"
+
+int main() {
+  using namespace bba;
+  const BBAlign aligner;
+
+  struct Preset {
+    const char* name;
+    LidarConfig cfg;
+  };
+  const Preset presets[] = {{"VLP-16", LidarConfig::vlp16()},
+                            {"HDL-32", LidarConfig::hdl32()},
+                            {"HDL-64", LidarConfig::hdl64()}};
+
+  std::cout << "ego sensor  x other sensor -> pose recovery error "
+               "(3 scenes each)\n\n";
+  std::cout << std::fixed << std::setprecision(2);
+  for (const Preset& ego : presets) {
+    for (const Preset& other : presets) {
+      double sumT = 0, sumR = 0;
+      int n = 0, ok = 0;
+      for (int i = 0; i < 3; ++i) {
+        DatasetConfig cfg;
+        cfg.seed = 31337 + i;
+        cfg.minSeparation = 25.0;
+        cfg.maxSeparation = 45.0;
+        cfg.egoLidar = ego.cfg;
+        cfg.otherLidar = other.cfg;
+        const DatasetGenerator gen(cfg);
+        const auto pair = gen.generatePair(i);
+        if (!pair) continue;
+        Rng rng(7);
+        const PairEvaluation ev = evaluatePair(aligner, *pair, rng);
+        ++n;
+        sumT += ev.error.translation;
+        sumR += ev.error.rotationDeg;
+        ok += ev.error.translation < 1.5 && ev.error.rotationDeg < 1.5;
+      }
+      std::cout << "  " << ego.name << " x " << other.name << ":  mean "
+                << (n ? sumT / n : 0.0) << " m / " << (n ? sumR / n : 0.0)
+                << " deg   (" << ok << "/" << n << " under 1.5 m & 1.5 deg)\n";
+    }
+  }
+  std::cout << "\nNo model retraining, no sensor-specific tuning: the same\n"
+               "plug-and-play configuration handles every pairing.\n";
+  return 0;
+}

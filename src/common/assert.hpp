@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bba {
+
+/// Error thrown when a precondition or internal invariant is violated.
+/// Carries the failing expression and source location in its message.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Error thrown when an algorithm cannot produce a result for the given
+/// input (e.g. RANSAC with fewer correspondences than the minimal set).
+class ComputationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BBA_ASSERT failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace bba
+
+/// Precondition / invariant check. Always on (cheap checks only); throws
+/// bba::AssertionError so tests can verify contract violations.
+#define BBA_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::bba::detail::assertFail(#expr, __FILE__, __LINE__, \
+                                           std::string{});            \
+  } while (false)
+
+/// BBA_ASSERT with an explanatory message (streamable not supported; pass
+/// a std::string or string literal).
+#define BBA_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) ::bba::detail::assertFail(#expr, __FILE__, __LINE__, \
+                                           (msg));                    \
+  } while (false)

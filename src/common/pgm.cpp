@@ -1,0 +1,49 @@
+#include "common/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+namespace {
+void writeHeaderAndData(const std::string& path, int w, int h,
+                        const std::vector<unsigned char>& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ComputationError("writePgm: cannot open " + path);
+  os << "P5\n" << w << " " << h << "\n255\n";
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw ComputationError("writePgm: write failed for " + path);
+}
+}  // namespace
+
+void writePgm(const ImageF& img, const std::string& path, float maxValue) {
+  BBA_ASSERT(!img.empty());
+  float scale = maxValue;
+  if (scale <= 0.0f) scale = std::max(img.maxValue(), 1e-12f);
+  std::vector<unsigned char> bytes;
+  bytes.reserve(img.size());
+  for (const float v : img.data()) {
+    const float n = std::clamp(v / scale, 0.0f, 1.0f);
+    bytes.push_back(static_cast<unsigned char>(n * 255.0f + 0.5f));
+  }
+  writeHeaderAndData(path, img.width(), img.height(), bytes);
+}
+
+void writeIndexPgm(const ImageU8& img, int indexCount,
+                   const std::string& path) {
+  BBA_ASSERT(!img.empty());
+  BBA_ASSERT(indexCount >= 1);
+  std::vector<unsigned char> bytes;
+  bytes.reserve(img.size());
+  for (const unsigned char v : img.data()) {
+    bytes.push_back(static_cast<unsigned char>(
+        std::min(255, v * 255 / std::max(indexCount - 1, 1))));
+  }
+  writeHeaderAndData(path, img.width(), img.height(), bytes);
+}
+
+}  // namespace bba

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "signal/image.hpp"
+
+namespace bba {
+
+/// Write a float image as an 8-bit binary PGM (P5), scaling [0, maxValue]
+/// to [0, 255]. maxValue <= 0 auto-scales to the image maximum. Throws
+/// ComputationError on I/O failure. The standard way to eyeball BV images,
+/// MIMs and amplitude maps (any image viewer opens PGM).
+void writePgm(const ImageF& img, const std::string& path,
+              float maxValue = 0.0f);
+
+/// Write an index image (e.g. a MIM) as a PGM, mapping indices 0..indexCount-1
+/// across the gray range.
+void writeIndexPgm(const ImageU8& img, int indexCount,
+                   const std::string& path);
+
+}  // namespace bba

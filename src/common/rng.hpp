@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace bba {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every stochastic component (world generation, sensor noise, detector
+/// noise, RANSAC sampling) takes an explicit Rng so experiments are
+/// reproducible from a single seed. Wraps std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xB0A11CEULL) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniform angle in [-pi, pi).
+  double angle();
+
+  /// Derive an independent child generator (for parallel or per-frame
+  /// streams that must not perturb the parent sequence).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bba

@@ -1,0 +1,86 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+namespace {
+double interpSorted(const std::vector<double>& sorted, double p01) {
+  BBA_ASSERT(!sorted.empty());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p01 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+double percentile(std::span<const double> xs, double p) {
+  BBA_ASSERT_MSG(!xs.empty(), "percentile of empty sample");
+  BBA_ASSERT(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return interpSorted(sorted, p / 100.0);
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fractionBelow(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  BBA_ASSERT_MSG(!sorted_.empty(), "quantile of empty CDF");
+  BBA_ASSERT(q >= 0.0 && q <= 1.0);
+  return interpSorted(sorted_, q);
+}
+
+BoxStats boxStats(std::span<const double> xs) {
+  BBA_ASSERT_MSG(!xs.empty(), "boxStats of empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  BoxStats b;
+  b.p10 = interpSorted(sorted, 0.10);
+  b.p25 = interpSorted(sorted, 0.25);
+  b.p50 = interpSorted(sorted, 0.50);
+  b.p75 = interpSorted(sorted, 0.75);
+  b.p90 = interpSorted(sorted, 0.90);
+  b.n = sorted.size();
+  return b;
+}
+
+std::string toString(const BoxStats& b) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "p10=" << b.p10 << " p25=" << b.p25 << " p50=" << b.p50
+     << " p75=" << b.p75 << " p90=" << b.p90 << " (n=" << b.n << ")";
+  return os.str();
+}
+
+}  // namespace bba

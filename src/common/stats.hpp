@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bba {
+
+/// Mean of a sample; 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation; 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Empirical cumulative distribution function over a sample.
+///
+/// Built once from a set of observations; `fractionBelow(x)` then answers
+/// "what fraction of observations are <= x" — the quantity plotted on the
+/// y-axis of the paper's CDF figures (Figs. 7, 9, 10, 11, 12, 13).
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x, in [0, 1]. 0 for an empty CDF.
+  [[nodiscard]] double fractionBelow(double x) const;
+
+  /// Value at the given quantile q in [0,1]. Throws on empty CDF.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Five-number summary used by the paper's box plots
+/// (10th/25th/50th/75th/90th percentiles, Fig. 8).
+struct BoxStats {
+  double p10 = 0, p25 = 0, p50 = 0, p75 = 0, p90 = 0;
+  std::size_t n = 0;
+};
+
+/// Compute the paper's box-plot summary for a sample. Throws on empty input.
+BoxStats boxStats(std::span<const double> xs);
+
+/// Render a BoxStats line like "p10=0.12 p25=0.30 ... (n=120)".
+std::string toString(const BoxStats& b);
+
+}  // namespace bba

@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  BBA_ASSERT(!header_.empty());
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  BBA_ASSERT_MSG(cells.size() == header_.size(),
+                 "row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto printRow = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 < row.size() ? " | " : " |\n");
+    }
+  };
+  printRow(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) printRow(row);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  const auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << row[c] << (c + 1 < row.size() ? "," : "\n");
+  };
+  printRow(header_);
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace bba

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bba {
+
+/// Minimal ASCII table used by the bench binaries to print the paper's
+/// tables/figure series in a readable, diff-friendly format.
+///
+/// Usage:
+///   Table t({"Method", "Overall", "0-30m"});
+///   t.addRow({"Early Fusion", "21.2/8.9", "34.4/14.8"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Pretty-print with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Emit as CSV (no escaping of embedded commas — callers use plain cells).
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 2);
+
+}  // namespace bba

@@ -1,0 +1,393 @@
+#include "core/bb_align.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "features/mim.hpp"
+#include "geom/iou.hpp"
+#include "geom/kabsch.hpp"
+#include "spatial/kdtree.hpp"
+
+namespace bba {
+
+std::size_t CarPerceptionData::approxPayloadBytes() const {
+  std::size_t nonzero = 0;
+  for (float v : bvImage.data()) {
+    if (v > 0.0f) ++nonzero;
+  }
+  // Sparse encoding: (u, v, intensity) triplets at 5 bytes, plus 20 bytes
+  // per BV box (center, half extents, yaw as floats).
+  return nonzero * 5 + boxes.size() * 20;
+}
+
+BBAlign::BBAlign(BBAlignConfig config) : cfg_(std::move(config)) {
+  const int h = cfg_.bev.imageSize();
+  BBA_ASSERT_MSG(isPowerOfTwo(h),
+                 "BevParams must give a power-of-two image size");
+  bank_ = std::make_shared<const LogGaborBank>(h, h, cfg_.logGabor);
+}
+
+CarPerceptionData BBAlign::makeCarData(const PointCloud& cloud,
+                                       const Detections& dets) const {
+  CarPerceptionData data;
+  data.bvImage = makeHeightBV(cloud, cfg_.bev);
+  data.boxes = projectBV(dets);
+  return data;
+}
+
+namespace {
+std::vector<Keypoint> detectKeypoints(const BBAlignConfig& cfg,
+                                      const ImageF& bvImage,
+                                      const MimResult& mim) {
+  switch (cfg.keypointSurface) {
+    case BBAlignConfig::KeypointSurface::BvDense:
+      return detectBlockMaxima(bvImage, cfg.blockMax);
+    case BBAlignConfig::KeypointSurface::Amplitude:
+      return detectLocalMaxima(mim.totalAmplitude, cfg.localMax);
+    case BBAlignConfig::KeypointSurface::BvFast:
+      return detectFast(bvImage, cfg.fast);
+  }
+  throw ComputationError("unknown keypoint surface");
+}
+}  // namespace
+
+MimResult BBAlign::computeImageMim(const ImageF& bvImage) const {
+  return computeMim(cfg_.smoothBvForMim ? boxBlur3(bvImage) : bvImage,
+                    *bank_);
+}
+
+DescriptorSet BBAlign::describe(const ImageF& bvImage,
+                                double fixedAngle) const {
+  const MimResult mim = computeImageMim(bvImage);
+  const std::vector<Keypoint> keypoints =
+      detectKeypoints(cfg_, bvImage, mim);
+  DescriptorParams dp = cfg_.descriptor;
+  dp.fixedAngle = fixedAngle;
+  return computeDescriptors(mim, keypoints, dp);
+}
+
+namespace {
+
+/// Occupancy-overlap verifier for stage-1 hypotheses: projects the other
+/// car's occupied BV pixels through a candidate transform and measures the
+/// fraction landing on (3x3-dilated) occupied ego pixels.
+class OverlapScorer {
+ public:
+  OverlapScorer(const ImageF& egoBv, const ImageF& otherBv,
+                const BevParams& bev, float intensityThreshold)
+      : bev_(bev), occ_(egoBv.width(), egoBv.height(), 0) {
+    const int w = egoBv.width();
+    const int h = egoBv.height();
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (egoBv(x, y) <= intensityThreshold) continue;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (occ_.inBounds(x + dx, y + dy)) occ_(x + dx, y + dy) = 1;
+          }
+        }
+      }
+    }
+    // Occupied pixels of the other image, in metric coordinates
+    // (subsampled for bounded cost).
+    std::size_t count = 0;
+    for (float v : otherBv.data()) {
+      if (v > intensityThreshold) ++count;
+    }
+    const std::size_t stride = std::max<std::size_t>(1, count / 1200);
+    std::size_t seen = 0;
+    for (int y = 0; y < otherBv.height(); ++y) {
+      for (int x = 0; x < otherBv.width(); ++x) {
+        if (otherBv(x, y) <= intensityThreshold) continue;
+        if (seen++ % stride != 0) continue;
+        otherPts_.push_back(bev.toMeters(
+            Vec2{static_cast<double>(x), static_cast<double>(y)}));
+      }
+    }
+  }
+
+  /// Occupied pixels of the other BV image, metric coordinates.
+  [[nodiscard]] const std::vector<Vec2>& otherPoints() const {
+    return otherPts_;
+  }
+
+  /// Overlap score in [0, 1]; 0 when too few pixels project into the ego
+  /// field of view to judge.
+  [[nodiscard]] double score(const Pose2& T) const {
+    if (otherPts_.empty()) return 0.0;
+    int inFov = 0, hits = 0;
+    for (const Vec2& p : otherPts_) {
+      const Vec2 px = bev_.toPixel(T.apply(p));
+      const int u = static_cast<int>(std::lround(px.x));
+      const int v = static_cast<int>(std::lround(px.y));
+      if (!occ_.inBounds(u, v)) continue;
+      ++inFov;
+      hits += occ_(u, v);
+    }
+    const int minInFov = std::max<int>(
+        30, static_cast<int>(otherPts_.size() / 6));
+    if (inFov < minInFov) return 0.0;
+    return static_cast<double>(hits) / static_cast<double>(inFov);
+  }
+
+ private:
+  BevParams bev_;
+  Image<unsigned char> occ_;
+  std::vector<Vec2> otherPts_;
+};
+
+/// Short 2-D point-to-point ICP between the BV structure point sets,
+/// starting from the stage-1 transform. The keypoint matches constrain the
+/// pose with a few dozen points; this polish uses every occupied pixel.
+Pose2 icpPolishBv(const std::vector<Vec2>& srcPts, const ImageF& egoBv,
+                  const BevParams& bev, float intensityThreshold,
+                  const Pose2& init) {
+  std::vector<Vec2> dstPts;
+  std::vector<KdTree2::Point> arr;
+  for (int y = 0; y < egoBv.height(); ++y) {
+    for (int x = 0; x < egoBv.width(); ++x) {
+      if (egoBv(x, y) <= intensityThreshold) continue;
+      const Vec2 m = bev.toMeters(
+          Vec2{static_cast<double>(x), static_cast<double>(y)});
+      dstPts.push_back(m);
+      arr.push_back({m.x, m.y});
+    }
+  }
+  if (srcPts.size() < 20 || dstPts.size() < 20) return init;
+  const KdTree2 tree(std::move(arr));
+
+  Pose2 T = init;
+  constexpr double kMaxDist2 = 2.5 * 2.5;
+  for (int iter = 0; iter < 12; ++iter) {
+    std::vector<Vec2> a, b;
+    for (const Vec2& p : srcPts) {
+      const Vec2 tp = T.apply(p);
+      const auto nn = tree.nearest({tp.x, tp.y});
+      if (nn.squaredDistance > kMaxDist2) continue;
+      a.push_back(tp);
+      b.push_back(dstPts[nn.index]);
+    }
+    if (a.size() < 20) break;
+    const Pose2 delta = estimateRigid2D(a, b);
+    T = delta.compose(T);
+    if (delta.t.norm() < 1e-3 && std::abs(delta.theta) < 1e-4) break;
+  }
+  return T;
+}
+
+/// Stage 2 (§IV-B): pair up overlapping boxes and align their corners.
+struct BoxAlignment {
+  RansacResult ransac;
+  int pairs = 0;
+};
+
+BoxAlignment alignBoxes(const std::vector<OrientedBox2>& otherBoxes,
+                        const std::vector<OrientedBox2>& egoBoxes,
+                        const Pose2& stage1, const BBAlignConfig& cfg,
+                        Rng& rng) {
+  BoxAlignment out;
+  std::vector<Vec2> src, dst;
+
+  std::vector<bool> egoUsed(egoBoxes.size(), false);
+  for (const OrientedBox2& ob : otherBoxes) {
+    // Boxes arrive in the other car's frame; stage 1 brings them into the
+    // ego frame to within a couple of meters (Algorithm 1 line 12).
+    const OrientedBox2 moved = ob.transformed(stage1);
+    int bestIdx = -1;
+    double bestDist = cfg.boxPairMaxCenterDistance;
+    for (std::size_t j = 0; j < egoBoxes.size(); ++j) {
+      if (egoUsed[j]) continue;
+      const double d = (egoBoxes[j].center - moved.center).norm();
+      if (d < bestDist) {
+        bestDist = d;
+        bestIdx = static_cast<int>(j);
+      }
+    }
+    if (bestIdx < 0) continue;
+    egoUsed[static_cast<std::size_t>(bestIdx)] = true;
+    ++out.pairs;
+
+    // Consistently ordered corners pair up index-for-index (§IV-B). The
+    // canonicalization collapses the 180-degree heading ambiguity of
+    // symmetric car boxes detected from opposite viewpoints.
+    const auto sc = moved.canonicalized().corners();
+    const auto dc =
+        egoBoxes[static_cast<std::size_t>(bestIdx)].canonicalized().corners();
+    for (int k = 0; k < 4; ++k) {
+      src.push_back(sc[static_cast<std::size_t>(k)]);
+      dst.push_back(dc[static_cast<std::size_t>(k)]);
+    }
+  }
+
+  if (src.size() >= 4) {
+    bool rigid = false;
+    switch (cfg.stage2Mode) {
+      case BBAlignConfig::Stage2Mode::TranslationOnly:
+        rigid = false;
+        break;
+      case BBAlignConfig::Stage2Mode::Rigid:
+        rigid = true;
+        break;
+      case BBAlignConfig::Stage2Mode::Auto:
+        rigid = out.pairs >= cfg.autoRigidMinPairs;
+        break;
+    }
+    out.ransac = rigid ? ransacRigid2D(src, dst, cfg.ransacBox, rng)
+                       : ransacTranslation2D(src, dst, cfg.ransacBox, rng);
+  }
+  return out;
+}
+
+}  // namespace
+
+PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
+                                    const CarPerceptionData& ego,
+                                    Rng& rng) const {
+  PoseRecoveryResult result;
+
+  // ---- Stage 1: BV image matching (Algorithm 1 lines 5–11) -------------
+  const MimResult mimEgo = computeImageMim(ego.bvImage);
+  const MimResult mimOther = computeImageMim(other.bvImage);
+  const std::vector<Keypoint> kpsEgo =
+      detectKeypoints(cfg_, ego.bvImage, mimEgo);
+  const std::vector<Keypoint> kpsOther =
+      detectKeypoints(cfg_, other.bvImage, mimOther);
+
+  DescriptorParams dpEgo = cfg_.descriptor;
+  dpEgo.fixedAngle = 0.0;
+  const DescriptorSet descEgo = computeDescriptors(mimEgo, kpsEgo, dpEgo);
+
+  // Global relative-yaw candidates: a V2V frame pair has ONE relative
+  // rotation, visible as a circular shift between the two images' MIM
+  // orientation histograms. Each candidate gets its own fixed-rotation
+  // descriptor pass for the other image (per-keypoint normalization would
+  // inject orientation jitter on blob features like tree tops).
+  std::vector<double> yawCands{0.0};
+  const bool fixedMode =
+      cfg_.descriptor.rotationMode == RotationMode::FixedAngle;
+  if (fixedMode) {
+    const std::vector<double> peaks =
+        globalYawCandidates(mimEgo, mimOther, cfg_.yawCandidates);
+    yawCands.clear();
+    for (const double peak : peaks) {
+      for (int k = -cfg_.yawSpreadSteps; k <= cfg_.yawSpreadSteps; ++k) {
+        double yaw = peak + k * cfg_.yawSpreadDeg * kDegToRad;
+        yaw = std::fmod(yaw, 3.14159265358979323846);
+        if (yaw < 0.0) yaw += 3.14159265358979323846;
+        bool dup = false;
+        for (const double kept : yawCands) {
+          double d = std::abs(yaw - kept);
+          d = std::min(d, 3.14159265358979323846 - d);
+          if (d < 4.0 * kDegToRad) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) yawCands.push_back(yaw);
+      }
+    }
+    if (yawCands.empty()) yawCands.push_back(0.0);
+  }
+
+  const OverlapScorer scorer(ego.bvImage, other.bvImage, cfg_.bev,
+                             cfg_.overlapIntensityThreshold);
+  VerifiedRansacResult bestVerified;
+  int bestMatches = 0;
+  for (const double yaw : yawCands) {
+    DescriptorParams dpOther = cfg_.descriptor;
+    // yaw is the other->ego rotation (ego pixels = R(yaw) * other pixels
+    // + shift); sampling the other image's patches with offsets rotated by
+    // -yaw reads the content that ego's unrotated offsets read.
+    dpOther.fixedAngle = -yaw;
+    const DescriptorSet descOther =
+        computeDescriptors(mimOther, kpsOther, dpOther);
+    const std::vector<Match> matches =
+        matchDescriptors(descOther, descEgo, cfg_.matching);
+
+    std::vector<Vec2> src, dst;
+    std::vector<double> srcOrient, dstOrient;
+    src.reserve(matches.size());
+    dst.reserve(matches.size());
+    for (const Match& m : matches) {
+      // RANSAC runs in metric vehicle-frame coordinates so its thresholds
+      // and the resulting transform are directly physical.
+      const Keypoint& ks =
+          descOther.keypoint(static_cast<std::size_t>(m.srcIndex));
+      const Keypoint& kd =
+          descEgo.keypoint(static_cast<std::size_t>(m.dstIndex));
+      src.push_back(cfg_.bev.toMeters(ks.px));
+      dst.push_back(cfg_.bev.toMeters(kd.px));
+      srcOrient.push_back(ks.orientation);
+      dstOrient.push_back(kd.orientation);
+    }
+
+    // Verified RANSAC: the inlier count alone cannot separate the true
+    // pose from impostor consensus in repetitive scenes, so every
+    // qualifying hypothesis is scored by how well it overlays the other
+    // car's BV structure onto the ego car's, and the best score wins.
+    RansacParams prm = cfg_.ransacBv;
+    if (fixedMode) prm.thetaPriorModPi = yaw;
+    const VerifiedRansacResult verified = ransacRigid2DVerified(
+        src, dst, prm, rng,
+        [&scorer](const Pose2& T) { return scorer.score(T); }, srcOrient,
+        dstOrient);
+    if (verified.verifierScore > bestVerified.verifierScore) {
+      bestVerified = verified;
+      bestMatches = static_cast<int>(matches.size());
+    }
+  }
+
+  RansacResult bv = bestVerified.ransac;
+  result.keypointMatches = bestMatches;
+  result.overlapScore = std::max(
+      std::max(bestVerified.verifierScore, scorer.score(bv.transform)), 0.0);
+  result.inliersBv = bv.inlierCount;
+  result.stage1Ok = bv.ok && result.overlapScore >= cfg_.minOverlapScore;
+
+  // Dense polish over all BV structure pixels; kept only if the overlap
+  // verification agrees it did not get worse.
+  if (cfg_.bvIcpPolish && result.stage1Ok) {
+    const Pose2 polished =
+        icpPolishBv(scorer.otherPoints(), ego.bvImage, cfg_.bev,
+                    cfg_.overlapIntensityThreshold, bv.transform);
+    const double polishedScore = scorer.score(polished);
+    if (polishedScore >= result.overlapScore - 0.02) {
+      bv.transform = polished;
+      result.overlapScore = std::max(result.overlapScore, polishedScore);
+    }
+  }
+
+  result.stage1 = bv.transform;
+  result.estimate = bv.transform;
+
+  // ---- Stage 2: bounding-box alignment (lines 12–15) --------------------
+  if (cfg_.enableBoxAlignment && result.stage1Ok) {
+    const BoxAlignment boxes =
+        alignBoxes(other.boxes, ego.boxes, bv.transform, cfg_, rng);
+    result.boxPairs = boxes.pairs;
+    result.inliersBox = boxes.ransac.inlierCount;
+    // Accept the refinement only while it stays a *refinement* — a large
+    // correction after refinement means mispaired boxes won the vote.
+    const Pose2& tBox = boxes.ransac.transform;
+    const bool bounded =
+        (cfg_.ransacBox.maxTranslationNorm < 0.0 ||
+         tBox.t.norm() <= cfg_.ransacBox.maxTranslationNorm + 0.5) &&
+        angularDistance(tBox.theta, 0.0) <=
+            cfg_.ransacBox.thetaPriorTolerance + 0.05;
+    result.stage2Ok = boxes.ransac.ok && bounded;
+    if (result.stage2Ok) {
+      // T_2D = T_box * T_bv (line 15).
+      result.estimate = tBox.compose(bv.transform);
+    }
+  }
+
+  result.success = result.stage1Ok && result.stage2Ok &&
+                   result.inliersBv > cfg_.successInliersBv &&
+                   result.inliersBox > cfg_.successInliersBox;
+  // Eq. 1 lift with the ground-vehicle constants (line 17).
+  result.estimate3D = Pose3::fromPose2(result.estimate);
+  return result;
+}
+
+}  // namespace bba

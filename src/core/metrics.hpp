@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/vips.hpp"
+#include "core/bb_align.hpp"
+#include "dataset/frame_pair.hpp"
+
+namespace bba {
+
+/// One frame pair run through BB-Align (and optionally the VIPS baseline):
+/// the record all figure benches aggregate over.
+struct PairEvaluation {
+  double distance = 0.0;
+  int commonCars = 0;
+
+  PoseRecoveryResult recovery;
+  PoseError error;        ///< full two-stage estimate vs ground truth
+  PoseError errorStage1;  ///< stage-1-only estimate vs ground truth
+
+  bool vipsRan = false;
+  VipsResult vips;
+  PoseError vipsError;  ///< valid when vips.ok
+};
+
+/// Run BB-Align (and VIPS when requested) on one pair.
+[[nodiscard]] PairEvaluation evaluatePair(const BBAlign& aligner,
+                                          const FramePair& pair, Rng& rng,
+                                          bool runVips = false,
+                                          const VipsParams& vipsParams = {});
+
+/// Evaluate a whole pool of pairs.
+[[nodiscard]] std::vector<PairEvaluation> evaluatePairs(
+    const BBAlign& aligner, const std::vector<FramePair>& pairs, Rng& rng,
+    bool runVips = false, const VipsParams& vipsParams = {});
+
+/// Extract a field across evaluations (helper for CDFs/percentiles).
+[[nodiscard]] std::vector<double> translationErrors(
+    const std::vector<PairEvaluation>& evals);
+[[nodiscard]] std::vector<double> rotationErrors(
+    const std::vector<PairEvaluation>& evals);
+
+}  // namespace bba

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "geom/pose2.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace bba {
+
+/// One evaluation sample: a synchronized pair of scans + detections from
+/// the two instrumented cars, with ground truth. This mirrors one entry of
+/// the V2V4Real frame-pair pool the paper evaluates on (6,145 pairs).
+struct FramePair {
+  /// Raw sweeps, each in its own vehicle's scan-end frame.
+  PointCloud egoCloud;
+  PointCloud otherCloud;
+  /// Single-car detections, same frames.
+  Detections egoDets;
+  Detections otherDets;
+  /// Ground-truth relative pose, other -> ego, at sweep end.
+  Pose2 gtOtherToEgo;
+  /// Ground-truth boxes of every (non-ego) vehicle in the ego frame —
+  /// the labels for cooperative-detection AP (Table I).
+  std::vector<Box3> gtBoxesEgoFrame;
+  /// Each car's own constant-twist odometry at capture time (every lidar
+  /// stack has this onboard); consumed by deskewing in the fusion
+  /// pipelines, never by BB-Align itself.
+  double egoSpeed = 0.0;
+  double egoYawRate = 0.0;
+  double otherSpeed = 0.0;
+  double otherYawRate = 0.0;
+  /// Covariates the paper's figures condition on.
+  double interVehicleDistance = 0.0;  ///< |gt translation| (meters)
+  int commonCars = 0;                 ///< cars detected by both vehicles
+  /// Seed index this pair was generated from (reproducibility handle).
+  int pairIndex = 0;
+};
+
+}  // namespace bba

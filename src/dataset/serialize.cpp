@@ -1,0 +1,153 @@
+#include "dataset/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44414242;  // "BBAD"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void writePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T readPod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw ComputationError("dataset file truncated");
+  return v;
+}
+
+void writeCloud(std::ostream& os, const PointCloud& c) {
+  writePod(os, static_cast<std::uint64_t>(c.size()));
+  for (const auto& lp : c.points) {
+    writePod(os, lp.p.x);
+    writePod(os, lp.p.y);
+    writePod(os, lp.p.z);
+    writePod(os, lp.time);
+  }
+}
+
+PointCloud readCloud(std::istream& is) {
+  const auto n = readPod<std::uint64_t>(is);
+  PointCloud c;
+  c.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Vec3 p;
+    p.x = readPod<double>(is);
+    p.y = readPod<double>(is);
+    p.z = readPod<double>(is);
+    const auto t = readPod<float>(is);
+    c.push(p, t);
+  }
+  return c;
+}
+
+void writeBox(std::ostream& os, const Box3& b) {
+  writePod(os, b.center.x);
+  writePod(os, b.center.y);
+  writePod(os, b.center.z);
+  writePod(os, b.size.x);
+  writePod(os, b.size.y);
+  writePod(os, b.size.z);
+  writePod(os, b.yaw);
+}
+
+Box3 readBox(std::istream& is) {
+  Box3 b;
+  b.center.x = readPod<double>(is);
+  b.center.y = readPod<double>(is);
+  b.center.z = readPod<double>(is);
+  b.size.x = readPod<double>(is);
+  b.size.y = readPod<double>(is);
+  b.size.z = readPod<double>(is);
+  b.yaw = readPod<double>(is);
+  return b;
+}
+
+void writeDetections(std::ostream& os, const Detections& dets) {
+  writePod(os, static_cast<std::uint64_t>(dets.size()));
+  for (const auto& d : dets) {
+    writeBox(os, d.box);
+    writePod(os, d.score);
+    writePod(os, static_cast<std::int32_t>(d.truthId));
+  }
+}
+
+Detections readDetections(std::istream& is) {
+  const auto n = readPod<std::uint64_t>(is);
+  Detections dets;
+  dets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Detection d;
+    d.box = readBox(is);
+    d.score = readPod<float>(is);
+    d.truthId = readPod<std::int32_t>(is);
+    dets.push_back(d);
+  }
+  return dets;
+}
+}  // namespace
+
+void saveDataset(const std::vector<FramePair>& pairs,
+                 const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ComputationError("saveDataset: cannot open " + path);
+  writePod(os, kMagic);
+  writePod(os, kVersion);
+  writePod(os, static_cast<std::uint64_t>(pairs.size()));
+  for (const auto& p : pairs) {
+    writePod(os, static_cast<std::int32_t>(p.pairIndex));
+    writePod(os, p.gtOtherToEgo.t.x);
+    writePod(os, p.gtOtherToEgo.t.y);
+    writePod(os, p.gtOtherToEgo.theta);
+    writePod(os, p.interVehicleDistance);
+    writePod(os, static_cast<std::int32_t>(p.commonCars));
+    writeCloud(os, p.egoCloud);
+    writeCloud(os, p.otherCloud);
+    writeDetections(os, p.egoDets);
+    writeDetections(os, p.otherDets);
+    writePod(os, static_cast<std::uint64_t>(p.gtBoxesEgoFrame.size()));
+    for (const auto& b : p.gtBoxesEgoFrame) writeBox(os, b);
+  }
+  if (!os) throw ComputationError("saveDataset: write failed for " + path);
+}
+
+std::vector<FramePair> loadDataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ComputationError("loadDataset: cannot open " + path);
+  if (readPod<std::uint32_t>(is) != kMagic)
+    throw ComputationError("loadDataset: bad magic in " + path);
+  if (readPod<std::uint32_t>(is) != kVersion)
+    throw ComputationError("loadDataset: unsupported version in " + path);
+  const auto count = readPod<std::uint64_t>(is);
+  std::vector<FramePair> pairs;
+  pairs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FramePair p;
+    p.pairIndex = readPod<std::int32_t>(is);
+    p.gtOtherToEgo.t.x = readPod<double>(is);
+    p.gtOtherToEgo.t.y = readPod<double>(is);
+    p.gtOtherToEgo.theta = readPod<double>(is);
+    p.interVehicleDistance = readPod<double>(is);
+    p.commonCars = readPod<std::int32_t>(is);
+    p.egoCloud = readCloud(is);
+    p.otherCloud = readCloud(is);
+    p.egoDets = readDetections(is);
+    p.otherDets = readDetections(is);
+    const auto nBoxes = readPod<std::uint64_t>(is);
+    p.gtBoxesEgoFrame.reserve(nBoxes);
+    for (std::uint64_t b = 0; b < nBoxes; ++b)
+      p.gtBoxesEgoFrame.push_back(readBox(is));
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+}  // namespace bba

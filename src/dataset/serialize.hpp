@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/frame_pair.hpp"
+
+namespace bba {
+
+/// Write a frame-pair dataset to a binary file. Format: "BBAD" magic,
+/// version, pair count, then each pair's pose, clouds, detections and GT
+/// boxes. Throws ComputationError on I/O failure.
+void saveDataset(const std::vector<FramePair>& pairs,
+                 const std::string& path);
+
+/// Read a dataset written by saveDataset. Throws ComputationError on I/O
+/// failure, bad magic, or version mismatch.
+[[nodiscard]] std::vector<FramePair> loadDataset(const std::string& path);
+
+}  // namespace bba

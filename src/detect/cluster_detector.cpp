@@ -1,0 +1,214 @@
+#include "detect/cluster_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "signal/image.hpp"
+
+namespace bba {
+
+namespace {
+struct CellPoints {
+  std::vector<Vec2> pts;
+  bool tall = false;
+};
+}  // namespace
+
+Detections detectByClustering(const PointCloud& cloud,
+                              const ClusterDetectorParams& prm) {
+  BBA_ASSERT(prm.cellSize > 0.0 && prm.range > 0.0);
+  const int n = static_cast<int>(2.0 * prm.range / prm.cellSize);
+
+  // Bin band-pass points into BEV cells; mark cells under tall structure.
+  Image<int> cellIndex(n, n, -1);
+  std::vector<CellPoints> cells;
+  const auto cellOf = [&](const Vec3& p, int& u, int& v) {
+    if (p.x < -prm.range || p.x >= prm.range || p.y < -prm.range ||
+        p.y >= prm.range)
+      return false;
+    u = static_cast<int>((p.x + prm.range) / prm.cellSize);
+    v = static_cast<int>((p.y + prm.range) / prm.cellSize);
+    return u >= 0 && u < n && v >= 0 && v < n;
+  };
+
+  for (const auto& lp : cloud.points) {
+    int u = 0, v = 0;
+    if (!cellOf(lp.p, u, v)) continue;
+    const bool inBand = lp.p.z >= prm.bandZMin && lp.p.z <= prm.bandZMax;
+    const bool tall = lp.p.z > prm.tallZ;
+    if (!inBand && !tall) continue;
+    int idx = cellIndex(u, v);
+    if (idx < 0) {
+      idx = static_cast<int>(cells.size());
+      cellIndex(u, v) = idx;
+      cells.emplace_back();
+    }
+    auto& cell = cells[static_cast<std::size_t>(idx)];
+    if (tall) cell.tall = true;
+    if (inBand) cell.pts.push_back(lp.p.xy());
+  }
+
+  // Connected components over occupied, non-tall cells (8-connectivity).
+  Image<int> label(n, n, -1);
+  Detections out;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const int ci = cellIndex(x, y);
+      if (ci < 0 || label(x, y) >= 0) continue;
+      const auto& seed = cells[static_cast<std::size_t>(ci)];
+      if (seed.tall || seed.pts.empty()) continue;
+
+      // BFS flood fill.
+      std::vector<Vec2> pts;
+      int cellCount = 0;
+      bool touchesTall = false;
+      std::vector<std::pair<int, int>> stack{{x, y}};
+      label(x, y) = 1;
+      while (!stack.empty()) {
+        const auto [cx, cy] = stack.back();
+        stack.pop_back();
+        const int idx = cellIndex(cx, cy);
+        const auto& cell = cells[static_cast<std::size_t>(idx)];
+        if (cell.tall) {
+          touchesTall = true;
+          continue;
+        }
+        pts.insert(pts.end(), cell.pts.begin(), cell.pts.end());
+        if (!cell.pts.empty()) ++cellCount;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int nx = cx + dx, ny = cy + dy;
+            if (nx < 0 || ny < 0 || nx >= n || ny >= n) continue;
+            if (label(nx, ny) >= 0 || cellIndex(nx, ny) < 0) continue;
+            label(nx, ny) = 1;
+            stack.emplace_back(nx, ny);
+          }
+        }
+      }
+
+      if (touchesTall) continue;  // attached to wall/vegetation structure
+      if (static_cast<int>(pts.size()) < prm.minPoints) continue;
+
+      Vec2 mean{};
+      for (const Vec2& p : pts) mean += p;
+      mean = mean / static_cast<double>(pts.size());
+
+      // L-shape fitting by brute-force yaw search with the "closeness"
+      // criterion (Zhang et al.-style): every point votes for how close it
+      // sits to its nearest rectangle edge. On the L- or I-shaped partial
+      // views lidar delivers this locks onto the visible faces, where a
+      // plain min-area rectangle chases outliers and PCA flips 90 degrees
+      // on front-only views.
+      double bestCost = 1e18, bestYaw = 0.0;
+      double bMinL = 0, bMaxL = 0, bMinW = 0, bMaxW = 0;
+      for (int step = 0; step < 90; ++step) {
+        const double y2 = step * (1.5707963267948966 / 90.0);
+        const Vec2 ax{std::cos(y2), std::sin(y2)};
+        double minL = 1e18, maxL = -1e18, minW = 1e18, maxW = -1e18;
+        for (const Vec2& p : pts) {
+          const Vec2 d = p - mean;
+          const double a = d.dot(ax);
+          const double b = d.dot(ax.perp());
+          minL = std::min(minL, a);
+          maxL = std::max(maxL, a);
+          minW = std::min(minW, b);
+          maxW = std::max(maxW, b);
+        }
+        double cost = 0.0;
+        for (const Vec2& p : pts) {
+          const Vec2 d = p - mean;
+          const double a = d.dot(ax);
+          const double b = d.dot(ax.perp());
+          const double da = std::min(a - minL, maxL - a);
+          const double db = std::min(b - minW, maxW - b);
+          cost += std::min(da, db);
+        }
+        if (cost < bestCost) {
+          bestCost = cost;
+          bestYaw = y2;
+          bMinL = minL;
+          bMaxL = maxL;
+          bMinW = minW;
+          bMaxW = maxW;
+        }
+      }
+      double yaw = bestYaw;
+      double length = bMaxL - bMinL;
+      double width = bMaxW - bMinW;
+      double midL = (bMinL + bMaxL) / 2.0;
+      double midW = (bMinW + bMaxW) / 2.0;
+      const Vec2 toObject = (mean - prm.sensorOrigin).normalized();
+
+      // Assign the box's length axis. With a long face visible it is the
+      // larger measured extent; for face-only views (a car straight ahead
+      // shows just its ~2 m-wide rear) the car extends *away* along the
+      // viewing ray, so the axis closer to the ray wins.
+      const auto swapAxes = [&] {
+        std::swap(length, width);
+        const double t = midL;
+        midL = midW;
+        midW = -t;
+        yaw = wrapAngle(yaw + 1.5707963267948966);
+      };
+      if (std::max(length, width) >= 3.0) {
+        if (width > length) swapAxes();
+      } else {
+        const double rayAngle = std::atan2(toObject.y, toObject.x);
+        auto distModPi = [&](double a) {
+          double d = std::fmod(std::abs(a - rayAngle), 3.14159265358979);
+          return std::min(d, 3.14159265358979 - d);
+        };
+        if (distModPi(yaw + 1.5707963267948966) < distModPi(yaw)) swapAxes();
+      }
+      if (std::max(length, width) < prm.minExtent ||
+          std::max(length, width) > prm.maxExtent)
+        continue;
+      if (width > 3.2) continue;  // cars are under ~2.2 m wide
+
+      // Lidar sees only the faces toward the sensor: expand the measured
+      // rectangle to nominal car size *away* from the sensor, keeping the
+      // observed faces in place.
+      const Vec2 axis{std::cos(yaw), std::sin(yaw)};
+      Vec2 center = mean + axis * midL + axis.perp() * midW;
+      const double nomL = std::max(length, 4.4);
+      const double nomW = std::max(width, 1.85);
+      if (length < nomL) {
+        const double sign = axis.dot(toObject) >= 0.0 ? 1.0 : -1.0;
+        center += axis * (sign * (nomL - length) / 2.0);
+      }
+      if (width < nomW) {
+        const double sign = axis.perp().dot(toObject) >= 0.0 ? 1.0 : -1.0;
+        center += axis.perp() * (sign * (nomW - width) / 2.0);
+      }
+
+      Detection det;
+      det.box.center = {center.x, center.y, 0.8};
+      det.box.size = {nomL + 0.2, nomW + 0.15, 1.6};
+      det.box.yaw = yaw;
+      // Score: range-compensated support (far cars return quadratically
+      // fewer points), a bonus for car-shaped footprints, and a penalty
+      // for filled roundish clusters (vegetation: cars are hollow L/I
+      // shapes, bushes are solid discs).
+      const double range = (mean - prm.sensorOrigin).norm();
+      const double rangeGain = std::max(1.0, (range / 25.0) * (range / 25.0));
+      double score = std::min(
+          1.0, static_cast<double>(pts.size()) * rangeGain /
+                   static_cast<double>(prm.scoreSaturationPoints));
+      const bool carShaped =
+          length >= 3.4 && length <= 5.8 && width <= 2.5;
+      if (carShaped) score = std::min(1.0, score + 0.25);
+      const double fill = static_cast<double>(cellCount) * prm.cellSize *
+                          prm.cellSize /
+                          std::max(0.25, length * std::max(width, 0.3));
+      if (fill > 0.7 && length < 3.3) score *= 0.3;
+      det.score = static_cast<float>(std::clamp(score, 0.05, 1.0));
+      det.truthId = -1;  // provenance unknown to a real detector
+      out.push_back(det);
+    }
+  }
+  return out;
+}
+
+}  // namespace bba

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "detect/detection.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace bba {
+
+/// Classical (non-learned) lidar object detector: height-band filtering,
+/// BEV occupancy clustering, PCA box fitting. This is the detection head
+/// the fusion pipelines run on raw or fused data (early/intermediate
+/// fusion, Table I); it needs no training, keeping the whole evaluation
+/// self-contained.
+struct ClusterDetectorParams {
+  double bandZMin = 0.35;      ///< ignore returns below (ground)
+  double bandZMax = 2.2;       ///< ignore returns above (buildings, crowns)
+  double tallZ = 3.0;          ///< cells containing points above this are
+                               ///< structure (walls), not cars
+  double cellSize = 0.4;       ///< BEV clustering grid resolution, meters
+  double range = 100.0;        ///< half-extent of the clustering grid
+  int minPoints = 10;          ///< minimum cluster support
+  double minExtent = 1.0;      ///< reject tiny clutter (meters)
+  double maxExtent = 7.0;      ///< reject building-sized clusters
+  int scoreSaturationPoints = 60;  ///< points at which score reaches 1
+  /// Sensor position in the cloud's frame: partial-view boxes are expanded
+  /// to nominal car size away from it (the observed faces stay in place).
+  Vec2 sensorOrigin{};
+};
+
+/// Run the clustering detector on a cloud (any frame); detections come out
+/// in the same frame.
+[[nodiscard]] Detections detectByClustering(
+    const PointCloud& cloud, const ClusterDetectorParams& params = {});
+
+}  // namespace bba

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/obb.hpp"
+
+namespace bba {
+
+/// One detected object (a car), in the detecting vehicle's frame.
+struct Detection {
+  Box3 box;
+  float score = 1.0f;
+  /// Simulation provenance: id of the true vehicle this detection arose
+  /// from, or -1 for a false positive. Algorithms never read this; tests
+  /// and the common-car counters do.
+  int truthId = -1;
+};
+
+using Detections = std::vector<Detection>;
+
+/// Project every detection to its BV rectangle (Algorithm 1 line 2).
+[[nodiscard]] std::vector<OrientedBox2> projectBV(const Detections& dets);
+
+/// Count vehicles detected by both cars (by provenance id) — the paper's
+/// "commonly observed cars" covariate (Figs. 8 & 12).
+[[nodiscard]] int countCommonCars(const Detections& a, const Detections& b);
+
+}  // namespace bba

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "detect/detection.hpp"
+#include "lidar/lidar_model.hpp"
+#include "sim/world.hpp"
+
+namespace bba {
+
+/// Error model of a single-car 3-D object detector. Substitutes for the
+/// trained PointPillar-based models the paper runs (coBEVT, F-Cooper used
+/// as single-car detectors, §V "Model Setup"); see DESIGN.md.
+struct DetectorProfile {
+  std::string name = "coBEVT";
+  double maxRange = 70.0;       ///< detection range, meters
+  double recallNear = 0.97;     ///< recall at range 0
+  double recallFar = 0.45;      ///< recall at maxRange (linear in between)
+  double centerNoiseSigma = 0.15;   ///< meters, per axis
+  double sizeNoiseSigma = 0.06;     ///< meters
+  double yawNoiseSigmaDeg = 1.5;    ///< degrees
+  double falsePositivesPerFrame = 0.3;  ///< Poisson-ish mean
+  double scoreNoiseSigma = 0.08;
+
+  /// The paper's default detector: recent transformer-based model —
+  /// tighter boxes, higher recall.
+  static DetectorProfile coBEVT() { return DetectorProfile{}; }
+
+  /// Earlier PointPillar-based model — noisier boxes, lower recall.
+  static DetectorProfile fCooper() {
+    DetectorProfile p;
+    p.name = "F-Cooper";
+    p.recallNear = 0.93;
+    p.recallFar = 0.35;
+    p.centerNoiseSigma = 0.28;
+    p.sizeNoiseSigma = 0.12;
+    p.yawNoiseSigmaDeg = 3.0;
+    p.falsePositivesPerFrame = 0.6;
+    return p;
+  }
+};
+
+/// Simulate the detections vehicle `vehicleId` would produce at sweep end
+/// time `t`, in its own (scan-end) frame.
+///
+/// Faithfulness notes:
+///  - occlusion is checked by raycasting to the target;
+///  - each target's recorded pose is taken at the moment the spinning beam
+///    actually swept over it and expressed in the instantaneous sensor
+///    frame — i.e. the detections inherit the same self-motion distortion
+///    as the raw cloud, which is precisely the residual error stage 2 of
+///    BB-Align is designed to absorb.
+[[nodiscard]] Detections simulateDetections(const World& world, int vehicleId,
+                                            const LidarConfig& lidar,
+                                            double t,
+                                            const DetectorProfile& profile,
+                                            Rng& rng,
+                                            bool motionDistortion = true);
+
+}  // namespace bba

@@ -1,0 +1,218 @@
+#include "features/descriptor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+DescriptorSet::DescriptorSet(std::vector<Keypoint> keypoints,
+                             std::vector<std::vector<float>> descriptors,
+                             int grid, int numOrientations)
+    : keypoints_(std::move(keypoints)),
+      descriptors_(std::move(descriptors)),
+      grid_(grid),
+      numOrientations_(numOrientations) {
+  BBA_ASSERT(keypoints_.size() == descriptors_.size());
+}
+
+std::vector<float> DescriptorSet::flipped(std::size_t i) const {
+  // A 180-degree patch rotation sends grid cell (gx, gy) to
+  // (l-1-gx, l-1-gy); the MIM orientation index is unchanged because the
+  // MIM is pi-periodic (a pi shift is the identity on orientation bins).
+  const std::vector<float>& src = descriptors_[i];
+  std::vector<float> out(src.size());
+  const int l = grid_;
+  const int no = numOrientations_;
+  for (int gy = 0; gy < l; ++gy) {
+    for (int gx = 0; gx < l; ++gx) {
+      const std::size_t from = static_cast<std::size_t>((gy * l + gx) * no);
+      const std::size_t to = static_cast<std::size_t>(
+          (((l - 1 - gy) * l) + (l - 1 - gx)) * no);
+      std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(from), no,
+                  out.begin() + static_cast<std::ptrdiff_t>(to));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Dominant MIM orientation around a keypoint: the amplitude-weighted mode
+/// of MIM indices in a disc of radius `radius`, refined to sub-bin
+/// precision by parabolic interpolation over the (circular) histogram —
+/// without it, relative yaws that are not multiples of pi/N_o quantize
+/// inconsistently across the two images and descriptors stop matching.
+/// Returned as an angle in [0, pi).
+double dominantOrientation(const MimResult& mim, const Vec2& px,
+                           int radius) {
+  const int no = mim.numOrientations;
+  std::vector<double> hist(static_cast<std::size_t>(no), 0.0);
+  const int cx = static_cast<int>(px.x);
+  const int cy = static_cast<int>(px.y);
+  const int r2 = radius * radius;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > r2) continue;
+      const int x = cx + dx;
+      const int y = cy + dy;
+      if (!mim.mim.inBounds(x, y)) continue;
+      hist[mim.mim(x, y)] += mim.peakAmplitude(x, y);
+    }
+  }
+  const auto it = std::max_element(hist.begin(), hist.end());
+  const int bin = static_cast<int>(it - hist.begin());
+  const double l = hist[static_cast<std::size_t>((bin + no - 1) % no)];
+  const double c = hist[static_cast<std::size_t>(bin)];
+  const double r = hist[static_cast<std::size_t>((bin + 1) % no)];
+  const double denom = l - 2.0 * c + r;
+  const double offset =
+      std::abs(denom) > 1e-12 ? std::clamp(0.5 * (l - r) / denom, -0.5, 0.5)
+                              : 0.0;
+  // +pi/2: MIM indices are frequency orientations; report the structure
+  // direction (see computeMim).
+  double angle = (static_cast<double>(bin) + offset) * std::numbers::pi /
+                     static_cast<double>(no) +
+                 std::numbers::pi / 2.0;
+  angle = std::fmod(angle, std::numbers::pi);
+  if (angle < 0.0) angle += std::numbers::pi;
+  return angle;
+}
+
+}  // namespace
+
+DescriptorSet computeDescriptors(const MimResult& mim,
+                                 std::vector<Keypoint> keypoints,
+                                 const DescriptorParams& prm) {
+  BBA_ASSERT(prm.patchSize >= prm.grid && prm.grid >= 1);
+  const int no = mim.numOrientations;
+  const int l = prm.grid;
+  const int half = prm.patchSize / 2;
+  const double cellSize =
+      static_cast<double>(prm.patchSize) / static_cast<double>(l);
+  const int w = mim.mim.width();
+  const int h = mim.mim.height();
+
+  std::vector<Keypoint> kept;
+  std::vector<std::vector<float>> descs;
+  kept.reserve(keypoints.size());
+  descs.reserve(keypoints.size());
+
+  // Rotated patches need sqrt(2) margin around the keypoint.
+  const int margin = static_cast<int>(std::ceil(half * 1.4142135)) + 1;
+
+  const float ampMask = static_cast<float>(
+      prm.amplitudeMaskFraction *
+      (mim.peakAmplitude.empty() ? 0.0 : mim.peakAmplitude.maxValue()));
+
+  for (const Keypoint& kp : keypoints) {
+    const int cx = static_cast<int>(kp.px.x);
+    const int cy = static_cast<int>(kp.px.y);
+    if (cx < margin || cy < margin || cx >= w - margin || cy >= h - margin)
+      continue;
+
+    const double domOrient = dominantOrientation(mim, kp.px, half);
+    // The dominant orientation is always recorded on the keypoint (RANSAC
+    // gates inliers on orientation consistency); whether it also rotates
+    // the patch depends on the rotation mode.
+    double theta = 0.0;
+    switch (prm.rotationMode) {
+      case RotationMode::None:
+        break;
+      case RotationMode::PerKeypoint:
+        theta = domOrient;
+        break;
+      case RotationMode::FixedAngle:
+        theta = prm.fixedAngle;
+        break;
+    }
+    const double binShiftF =
+        theta * static_cast<double>(no) / std::numbers::pi;
+    const double c = std::cos(theta), s = std::sin(theta);
+
+    std::vector<float> desc(static_cast<std::size_t>(l * l * no), 0.0f);
+    for (int dy = -half; dy < half; ++dy) {
+      for (int dx = -half; dx < half; ++dx) {
+        // Sample the image at the keypoint + offset rotated by +theta so
+        // the patch's dominant structure is normalized to orientation 0.
+        const double sx = kp.px.x + c * dx - s * dy;
+        const double sy = kp.px.y + s * dx + c * dy;
+        const int ix = static_cast<int>(std::lround(sx));
+        const int iy = static_cast<int>(std::lround(sy));
+        if (!mim.mim.inBounds(ix, iy)) continue;
+
+        const float amp = mim.peakAmplitude(ix, iy);
+        if (amp <= ampMask) continue;
+        const float w = prm.amplitudeWeighting ? amp : 1.0f;
+
+        // Trilinear soft binning (x, y, orientation): visibility and
+        // sub-pixel differences between two views then move vote mass
+        // between adjacent bins instead of teleporting it, which keeps
+        // descriptor distances small for true correspondences across
+        // heterogeneous sensors.
+        const double gxf = (dx + half) / cellSize - 0.5;
+        const double gyf = (dy + half) / cellSize - 0.5;
+        const int gx0 = static_cast<int>(std::floor(gxf));
+        const int gy0 = static_cast<int>(std::floor(gyf));
+        const double fx = gxf - gx0;
+        const double fy = gyf - gy0;
+
+        double shifted =
+            std::fmod(static_cast<double>(mim.mim(ix, iy)) - binShiftF,
+                      static_cast<double>(no));
+        if (shifted < 0.0) shifted += static_cast<double>(no);
+        const int i0 = static_cast<int>(shifted) % no;
+        const int i1 = (i0 + 1) % no;
+        const float fo = static_cast<float>(shifted - std::floor(shifted));
+
+        for (int by = 0; by < 2; ++by) {
+          const int gy2 = gy0 + by;
+          if (gy2 < 0 || gy2 >= l) continue;
+          const double wy = by == 0 ? 1.0 - fy : fy;
+          for (int bx = 0; bx < 2; ++bx) {
+            const int gx2 = gx0 + bx;
+            if (gx2 < 0 || gx2 >= l) continue;
+            const double wx = bx == 0 ? 1.0 - fx : fx;
+            float* cell = &desc[static_cast<std::size_t>((gy2 * l + gx2) * no)];
+            const float ws = static_cast<float>(w * wy * wx);
+            cell[i0] += ws * (1.0f - fo);
+            cell[i1] += ws * fo;
+          }
+        }
+      }
+    }
+
+    // Hellinger kernel: sqrt-compress then L2-normalize. Dampens the
+    // influence of dense structure one sensor happens to sample heavily.
+    double norm2 = 0.0;
+    for (float& v : desc) {
+      v = std::sqrt(v);
+      norm2 += static_cast<double>(v) * v;
+    }
+    if (norm2 <= 0.0) continue;  // structure-free patch
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
+    for (float& v : desc) v *= inv;
+
+    Keypoint out = kp;
+    out.orientation = static_cast<float>(domOrient);
+    kept.push_back(out);
+    descs.push_back(std::move(desc));
+  }
+
+  return DescriptorSet(std::move(kept), std::move(descs), l, no);
+}
+
+float descriptorDistance2(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  BBA_ASSERT(a.size() == b.size());
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace bba

@@ -1,0 +1,183 @@
+#include "features/fast.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+namespace {
+// Bresenham circle of radius 3: the 16 FAST test offsets, in order.
+constexpr std::array<std::pair<int, int>, 16> kCircle{{{0, -3},
+                                                       {1, -3},
+                                                       {2, -2},
+                                                       {3, -1},
+                                                       {3, 0},
+                                                       {3, 1},
+                                                       {2, 2},
+                                                       {1, 3},
+                                                       {0, 3},
+                                                       {-1, 3},
+                                                       {-2, 2},
+                                                       {-3, 1},
+                                                       {-3, 0},
+                                                       {-3, -1},
+                                                       {-2, -2},
+                                                       {-1, -3}}};
+
+/// Corner test at (x, y): is there a contiguous arc of >= `arc` circle
+/// pixels all brighter than p + t or all darker than p - t? Returns the
+/// score (sum of contrasts over the best arc) or 0.
+float cornerScore(const ImageF& img, int x, int y, float t, int arc) {
+  const float p = img(x, y);
+  // Circular run-length scan, doubled to handle wrap-around.
+  float best = 0.0f;
+  for (int sign = 0; sign < 2; ++sign) {
+    int run = 0;
+    float sum = 0.0f;
+    float bestHere = 0.0f;
+    for (int i = 0; i < 32; ++i) {
+      const auto [dx, dy] = kCircle[static_cast<std::size_t>(i % 16)];
+      const float q = img(x + dx, y + dy);
+      const float diff = sign == 0 ? q - p : p - q;
+      if (diff > t) {
+        ++run;
+        sum += diff;
+        if (run >= arc) bestHere = std::max(bestHere, sum);
+        if (run >= 16) break;  // full circle
+      } else {
+        run = 0;
+        sum = 0.0f;
+      }
+    }
+    best = std::max(best, bestHere);
+  }
+  return best;
+}
+}  // namespace
+
+std::vector<Keypoint> detectLocalMaxima(const ImageF& img,
+                                        const LocalMaxParams& prm) {
+  BBA_ASSERT(prm.thresholdFraction >= 0.0f);
+  const int border = std::max(prm.border, 1);
+  if (img.empty() || img.width() <= 2 * border ||
+      img.height() <= 2 * border)
+    return {};
+  const float threshold = prm.thresholdFraction * img.maxValue();
+
+  std::vector<Keypoint> kps;
+  for (int y = border; y < img.height() - border; ++y) {
+    for (int x = border; x < img.width() - border; ++x) {
+      const float v = img(x, y);
+      if (v < threshold || v <= 0.0f) continue;
+      bool isMax = true;
+      for (int dy = -1; dy <= 1 && isMax; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const float q = img(x + dx, y + dy);
+          // Strict on one side of the tie-break diagonal so plateaus keep
+          // exactly one keypoint.
+          if (q > v || (q == v && (dy < 0 || (dy == 0 && dx < 0)))) {
+            isMax = false;
+            break;
+          }
+        }
+      }
+      if (isMax) {
+        kps.push_back(
+            Keypoint{Vec2{static_cast<double>(x), static_cast<double>(y)}, v});
+      }
+    }
+  }
+  std::sort(kps.begin(), kps.end(), [](const Keypoint& a, const Keypoint& b) {
+    return a.score > b.score;
+  });
+  if (prm.maxKeypoints > 0 &&
+      kps.size() > static_cast<std::size_t>(prm.maxKeypoints)) {
+    kps.resize(static_cast<std::size_t>(prm.maxKeypoints));
+  }
+  return kps;
+}
+
+std::vector<Keypoint> detectBlockMaxima(const ImageF& img,
+                                        const BlockMaxParams& prm) {
+  BBA_ASSERT(prm.blockSize >= 1);
+  const int border = std::max(prm.border, 0);
+  std::vector<Keypoint> kps;
+  for (int by = border; by < img.height() - border; by += prm.blockSize) {
+    for (int bx = border; bx < img.width() - border; bx += prm.blockSize) {
+      float best = prm.threshold;
+      int bestX = -1, bestY = -1;
+      const int yEnd = std::min(by + prm.blockSize, img.height() - border);
+      const int xEnd = std::min(bx + prm.blockSize, img.width() - border);
+      for (int y = by; y < yEnd; ++y) {
+        for (int x = bx; x < xEnd; ++x) {
+          const float v = img(x, y);
+          if (v > best) {
+            best = v;
+            bestX = x;
+            bestY = y;
+          }
+        }
+      }
+      if (bestX >= 0) {
+        kps.push_back(Keypoint{
+            Vec2{static_cast<double>(bestX), static_cast<double>(bestY)},
+            best});
+      }
+    }
+  }
+  std::sort(kps.begin(), kps.end(), [](const Keypoint& a, const Keypoint& b) {
+    return a.score > b.score;
+  });
+  if (prm.maxKeypoints > 0 &&
+      kps.size() > static_cast<std::size_t>(prm.maxKeypoints)) {
+    kps.resize(static_cast<std::size_t>(prm.maxKeypoints));
+  }
+  return kps;
+}
+
+std::vector<Keypoint> detectFast(const ImageF& img, const FastParams& prm) {
+  BBA_ASSERT(prm.arc >= 6 && prm.arc <= 16);
+  const int border = std::max(prm.border, 3);
+  if (img.width() <= 2 * border || img.height() <= 2 * border) return {};
+
+  ImageF scores(img.width(), img.height(), 0.0f);
+  for (int y = border; y < img.height() - border; ++y) {
+    for (int x = border; x < img.width() - border; ++x) {
+      scores(x, y) = cornerScore(img, x, y, prm.threshold, prm.arc);
+    }
+  }
+
+  std::vector<Keypoint> kps;
+  for (int y = border; y < img.height() - border; ++y) {
+    for (int x = border; x < img.width() - border; ++x) {
+      const float s = scores(x, y);
+      if (s <= 0.0f) continue;
+      bool isMax = true;
+      for (int dy = -1; dy <= 1 && isMax; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (scores.clampedAt(x + dx, y + dy) > s) {
+            isMax = false;
+            break;
+          }
+        }
+      if (isMax) {
+        kps.push_back(
+            Keypoint{Vec2{static_cast<double>(x), static_cast<double>(y)}, s});
+      }
+    }
+  }
+
+  std::sort(kps.begin(), kps.end(),
+            [](const Keypoint& a, const Keypoint& b) { return a.score > b.score; });
+  if (prm.maxKeypoints > 0 &&
+      kps.size() > static_cast<std::size_t>(prm.maxKeypoints)) {
+    kps.resize(static_cast<std::size_t>(prm.maxKeypoints));
+  }
+  return kps;
+}
+
+}  // namespace bba

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "signal/image.hpp"
+
+namespace bba {
+
+/// An image keypoint: sub-pixel-free pixel position + detector score.
+/// `orientation` (radians in [0, pi)) is the dominant local MIM
+/// orientation, filled in by the descriptor stage; pi-periodic because the
+/// MIM cannot distinguish a direction from its opposite.
+struct Keypoint {
+  Vec2 px{};
+  float score = 0.0f;
+  float orientation = 0.0f;
+};
+
+/// FAST detector parameters.
+struct FastParams {
+  /// Intensity contrast threshold, as an absolute value on the (normalized)
+  /// input image.
+  float threshold = 0.04f;
+  /// Minimum contiguous arc length (FAST-9: 9 of the 16 circle pixels).
+  int arc = 9;
+  /// Keep at most this many keypoints (by score, after 3x3 non-maximum
+  /// suppression). 0 = unlimited.
+  int maxKeypoints = 500;
+  /// Ignore a border of this many pixels (descriptors need full patches).
+  int border = 8;
+};
+
+/// FAST-9 corner detection with non-maximum suppression (Rosten &
+/// Drummond, ref. [33] of the paper). Score is the sum of absolute
+/// contrasts over the qualifying arc.
+[[nodiscard]] std::vector<Keypoint> detectFast(const ImageF& img,
+                                               const FastParams& params = {});
+
+/// Local-maxima keypoint detection: 3x3 non-maximum suppression over all
+/// pixels above `thresholdFraction * max(img)`. On the Log-Gabor amplitude
+/// surface this fires along building edges and on tree-top blobs — the
+/// subtle features of sparse BV images the paper's MIM approach targets —
+/// where a strict corner test (FAST-9) stays silent on straight edges.
+struct LocalMaxParams {
+  float thresholdFraction = 0.08f;
+  int maxKeypoints = 600;
+  int border = 8;
+};
+[[nodiscard]] std::vector<Keypoint> detectLocalMaxima(
+    const ImageF& img, const LocalMaxParams& params = {});
+
+/// Dense block-maxima keypoints: the brightest pixel above `threshold`
+/// inside every blockSize x blockSize tile. On sparse BV height images
+/// this anchors keypoints to the physical structure itself (wall pixels,
+/// tree tops), which is repeatable across viewpoints and heterogeneous
+/// sensors — where response-surface maxima drift with sampling density.
+struct BlockMaxParams {
+  float threshold = 0.04f;  ///< absolute intensity threshold
+  int blockSize = 3;        ///< tile side, pixels
+  int maxKeypoints = 600;
+  int border = 8;
+};
+[[nodiscard]] std::vector<Keypoint> detectBlockMaxima(
+    const ImageF& img, const BlockMaxParams& params = {});
+
+}  // namespace bba

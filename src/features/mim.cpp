@@ -1,0 +1,172 @@
+#include "features/mim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "geom/vec.hpp"
+
+namespace bba {
+
+MimResult computeMim(const ImageF& bvImage, const LogGaborBank& bank) {
+  BBA_ASSERT_MSG(bvImage.width() == bank.width() &&
+                     bvImage.height() == bank.height(),
+                 "BV image dimensions must match the Log-Gabor bank");
+  const std::vector<ImageF> amps = bank.orientationAmplitudes(bvImage);
+  const int no = bank.params().numOrientations;
+  const int w = bvImage.width();
+  const int h = bvImage.height();
+
+  MimResult out;
+  out.mim = ImageU8(w, h, 0);
+  out.peakAmplitude = ImageF(w, h, 0.0f);
+  out.totalAmplitude = ImageF(w, h, 0.0f);
+  out.orientation = ImageF(w, h, 0.0f);
+  out.numOrientations = no;
+
+  const double binAngle = std::numbers::pi / static_cast<double>(no);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float bestAmp = 0.0f;
+      int bestIdx = 0;
+      float total = 0.0f;
+      for (int o = 0; o < no; ++o) {
+        const float a = amps[static_cast<std::size_t>(o)](x, y);
+        total += a;
+        if (a > bestAmp) {
+          bestAmp = a;
+          bestIdx = o;
+        }
+      }
+      out.mim(x, y) = static_cast<unsigned char>(bestIdx);
+      out.peakAmplitude(x, y) = bestAmp;
+      out.totalAmplitude(x, y) = total;
+
+      // Continuous orientation by the axial (pi-periodic) circular mean:
+      // theta = atan2(sum A sin 2t, sum A cos 2t) / 2 — the unbiased
+      // estimator for axial data, unlike parabolic peak interpolation.
+      double s2 = 0.0, c2 = 0.0;
+      for (int o = 0; o < no; ++o) {
+        const double a = amps[static_cast<std::size_t>(o)](x, y);
+        const double t2 = 2.0 * static_cast<double>(o) * binAngle;
+        c2 += a * std::cos(t2);
+        s2 += a * std::sin(t2);
+      }
+      // The filter at index o selects spatial frequency along o*binAngle;
+      // the underlying line/edge runs perpendicular to that. Store the
+      // structure direction (+90 degrees), which is what callers reason
+      // about.
+      double angle =
+          0.5 * std::atan2(s2, c2) + std::numbers::pi / 2.0;
+      angle = std::fmod(angle, std::numbers::pi);
+      if (angle < 0.0) angle += std::numbers::pi;
+      out.orientation(x, y) = static_cast<float>(angle);
+    }
+  }
+  return out;
+}
+
+std::vector<double> orientationHistogram(const MimResult& mim, int bins) {
+  BBA_ASSERT(bins >= 2);
+  std::vector<double> hist(static_cast<std::size_t>(bins), 0.0);
+  if (mim.peakAmplitude.empty()) return hist;
+  // Mask out pixels with negligible energy: their orientation is noise.
+  const float mask = 0.05f * mim.peakAmplitude.maxValue();
+  const double scale = static_cast<double>(bins) / std::numbers::pi;
+  for (int y = 0; y < mim.mim.height(); ++y) {
+    for (int x = 0; x < mim.mim.width(); ++x) {
+      const float amp = mim.peakAmplitude(x, y);
+      if (amp <= mask) continue;
+      const double pos = mim.orientation(x, y) * scale;
+      const int b0 = static_cast<int>(pos) % bins;
+      const int b1 = (b0 + 1) % bins;
+      const double frac = pos - std::floor(pos);
+      hist[static_cast<std::size_t>(b0)] += amp * (1.0 - frac);
+      hist[static_cast<std::size_t>(b1)] += amp * frac;
+    }
+  }
+  return hist;
+}
+
+std::vector<double> globalYawCandidates(const MimResult& egoMim,
+                                        const MimResult& otherMim,
+                                        int maxCandidates) {
+  BBA_ASSERT(egoMim.numOrientations == otherMim.numOrientations);
+  BBA_ASSERT(maxCandidates >= 1);
+  constexpr int kBins = 72;  // 2.5-degree resolution
+  const std::vector<double> hE = orientationHistogram(egoMim, kBins);
+  const std::vector<double> hO = orientationHistogram(otherMim, kBins);
+
+  // C(k) = sum_o hE[o] * hO[(o - k) mod bins]: structure at orientation a
+  // in the other image appears at a + yaw in the ego image.
+  std::vector<double> corr(static_cast<std::size_t>(kBins), 0.0);
+  for (int k = 0; k < kBins; ++k) {
+    double s = 0.0;
+    for (int o = 0; o < kBins; ++o) {
+      s += hE[static_cast<std::size_t>(o)] *
+           hO[static_cast<std::size_t>(((o - k) % kBins + kBins) % kBins)];
+    }
+    corr[static_cast<std::size_t>(k)] = s;
+  }
+
+  // Local maxima of the circular correlation, best first. The correlation
+  // peak is as wide as the filters' angular response (~20 degrees), so a
+  // background-subtracted center of mass over a window refines far better
+  // than a 3-point parabola. Peaks within 5 degrees of a stronger peak are
+  // treated as the same candidate.
+  std::vector<std::pair<double, double>> peaks;  // (score, yaw)
+  constexpr int kWin = 6;                        // +-15 degrees
+  for (int k = 0; k < kBins; ++k) {
+    const double c = corr[static_cast<std::size_t>(k)];
+    bool isMax = true;
+    for (int d = -2; d <= 2; ++d) {
+      if (d == 0) continue;
+      if (corr[static_cast<std::size_t>((k + d + kBins) % kBins)] > c) {
+        isMax = false;
+        break;
+      }
+    }
+    if (!isMax) continue;
+    double lo = c;
+    for (int d = -kWin; d <= kWin; ++d) {
+      lo = std::min(lo, corr[static_cast<std::size_t>((k + d + kBins) % kBins)]);
+    }
+    double wsum = 0.0, msum = 0.0;
+    for (int d = -kWin; d <= kWin; ++d) {
+      const double w =
+          corr[static_cast<std::size_t>((k + d + kBins) % kBins)] - lo;
+      wsum += w;
+      msum += w * static_cast<double>(d);
+    }
+    const double offset = wsum > 1e-12 ? msum / wsum : 0.0;
+    double yaw = (static_cast<double>(k) + offset) * std::numbers::pi /
+                 static_cast<double>(kBins);
+    yaw = std::fmod(yaw, std::numbers::pi);
+    if (yaw < 0.0) yaw += std::numbers::pi;
+    peaks.emplace_back(c, yaw);
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<double> out;
+  for (const auto& [score, yaw] : peaks) {
+    (void)score;
+    bool dup = false;
+    for (double kept : out) {
+      double d = std::abs(yaw - kept);
+      d = std::min(d, std::numbers::pi - d);
+      if (d < 5.0 * kDegToRad) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) continue;
+    out.push_back(yaw);
+    if (static_cast<int>(out.size()) >= maxCandidates) break;
+  }
+  if (out.empty()) out.push_back(0.0);  // flat histograms: assume no rotation
+  return out;
+}
+
+}  // namespace bba

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "signal/image.hpp"
+#include "signal/log_gabor.hpp"
+
+namespace bba {
+
+/// Maximum Index Map + companion amplitude data (Eqs. 9–10).
+struct MimResult {
+  /// Per-pixel index (0..N_o-1) of the orientation with the largest summed
+  /// Log-Gabor amplitude — the MIM itself.
+  ImageU8 mim;
+  /// Amplitude at the winning orientation (texture energy; used to weight
+  /// descriptor histograms and to mask structure-free pixels).
+  ImageF peakAmplitude;
+  /// Total amplitude across all orientations (stable keypoint-detection
+  /// surface for sparse BV images).
+  ImageF totalAmplitude;
+  /// Continuous dominant orientation per pixel (radians in [0, pi)):
+  /// the argmax index refined by parabolic interpolation over adjacent
+  /// orientations' amplitudes. Drives the fine global-yaw histogram.
+  ImageF orientation;
+  int numOrientations = 0;
+};
+
+/// Compute the MIM of a BV image through a prebuilt Log-Gabor bank.
+[[nodiscard]] MimResult computeMim(const ImageF& bvImage,
+                                   const LogGaborBank& bank);
+
+/// Amplitude-weighted global histogram of continuous pixel orientations
+/// (masked to structure pixels), `bins` bins over [0, pi). The scene's
+/// orientation signature: rotating the scene circularly shifts it.
+[[nodiscard]] std::vector<double> orientationHistogram(const MimResult& mim,
+                                                       int bins = 72);
+
+/// Candidate global relative yaws (mod pi, in [0, pi)) between two images,
+/// from the circular cross-correlation of their orientation histograms,
+/// best peak first. A returned yaw q estimates the other->ego rotation:
+/// structure at orientation a in the other image appears at a + q in the
+/// ego image (p_ego = R(q) p_other + t). Sub-bin precision via
+/// background-subtracted center-of-mass refinement.
+[[nodiscard]] std::vector<double> globalYawCandidates(const MimResult& egoMim,
+                                                      const MimResult& otherMim,
+                                                      int maxCandidates = 2);
+
+}  // namespace bba

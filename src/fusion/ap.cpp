@@ -1,0 +1,93 @@
+#include "fusion/ap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/iou.hpp"
+
+namespace bba {
+
+namespace {
+bool inBand(const Vec3& center, const RangeBand& band) {
+  const double r = center.xy().norm();
+  return r >= band.lo && r < band.hi;
+}
+}  // namespace
+
+double averagePrecision(std::span<const EvalFrame> frames,
+                        double iouThreshold, const RangeBand& band) {
+  struct Entry {
+    float score;
+    std::size_t frame;
+    std::size_t det;
+  };
+  std::vector<Entry> entries;
+  std::size_t totalGt = 0;
+  std::vector<std::vector<int>> gtInBand(frames.size());
+
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const EvalFrame& fr = frames[f];
+    for (std::size_t g = 0; g < fr.gtBoxes.size(); ++g) {
+      if (inBand(fr.gtBoxes[g].center, band)) {
+        gtInBand[f].push_back(static_cast<int>(g));
+        ++totalGt;
+      }
+    }
+    for (std::size_t d = 0; d < fr.detections.size(); ++d) {
+      if (inBand(fr.detections[d].box.center, band)) {
+        entries.push_back(Entry{fr.detections[d].score, f, d});
+      }
+    }
+  }
+  if (totalGt == 0) return 0.0;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.score > b.score; });
+
+  std::vector<std::vector<bool>> gtMatched(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    gtMatched[f].assign(frames[f].gtBoxes.size(), false);
+  }
+
+  std::vector<double> precision, recall;
+  std::size_t tp = 0, fp = 0;
+  for (const Entry& e : entries) {
+    const EvalFrame& fr = frames[e.frame];
+    const Box3& det = fr.detections[e.det].box;
+    double bestIoU = 0.0;
+    int bestGt = -1;
+    for (int g : gtInBand[e.frame]) {
+      if (gtMatched[e.frame][static_cast<std::size_t>(g)]) continue;
+      const double iou = bevIoU(det, fr.gtBoxes[static_cast<std::size_t>(g)]);
+      if (iou > bestIoU) {
+        bestIoU = iou;
+        bestGt = g;
+      }
+    }
+    if (bestGt >= 0 && bestIoU >= iouThreshold) {
+      gtMatched[e.frame][static_cast<std::size_t>(bestGt)] = true;
+      ++tp;
+    } else {
+      ++fp;
+    }
+    precision.push_back(static_cast<double>(tp) /
+                        static_cast<double>(tp + fp));
+    recall.push_back(static_cast<double>(tp) / static_cast<double>(totalGt));
+  }
+  if (precision.empty()) return 0.0;
+
+  // All-point interpolation: make precision monotonically non-increasing
+  // from the right, then integrate over recall.
+  for (std::size_t i = precision.size() - 1; i > 0; --i) {
+    precision[i - 1] = std::max(precision[i - 1], precision[i]);
+  }
+  double ap = 0.0;
+  double prevRecall = 0.0;
+  for (std::size_t i = 0; i < precision.size(); ++i) {
+    ap += (recall[i] - prevRecall) * precision[i];
+    prevRecall = recall[i];
+  }
+  return 100.0 * ap;
+}
+
+}  // namespace bba

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "detect/detection.hpp"
+
+namespace bba {
+
+/// One evaluated frame: cooperative detections (ego frame) + ground truth.
+struct EvalFrame {
+  Detections detections;
+  std::vector<Box3> gtBoxes;
+};
+
+/// Range band [lo, hi) on the distance of a box center from the ego car —
+/// Table I's 0-30 m / 30-50 m / 50-100 m breakdown.
+struct RangeBand {
+  double lo = 0.0;
+  double hi = 1e9;
+};
+
+/// Average Precision at the given BEV-IoU threshold over a set of frames,
+/// restricted to ground truth (and detections) within the range band.
+/// Standard VOC-style all-point interpolated AP, scaled to [0, 100].
+/// Returns 0 when the band contains no ground truth.
+[[nodiscard]] double averagePrecision(std::span<const EvalFrame> frames,
+                                      double iouThreshold,
+                                      const RangeBand& band = {});
+
+}  // namespace bba

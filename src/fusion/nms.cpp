@@ -1,0 +1,50 @@
+#include "fusion/nms.hpp"
+
+#include <algorithm>
+
+#include "geom/iou.hpp"
+
+namespace bba {
+
+Detections nonMaximumSuppression(Detections dets, double iouThreshold) {
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.score > b.score;
+            });
+  Detections kept;
+  kept.reserve(dets.size());
+  for (const Detection& d : dets) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if (bevIoU(d.box, k.box) > iouThreshold) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+Detections distanceSuppression(Detections dets, double radius) {
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.score > b.score;
+            });
+  const double r2 = radius * radius;
+  Detections kept;
+  kept.reserve(dets.size());
+  for (const Detection& d : dets) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      if ((d.box.center.xy() - k.box.center.xy()).squaredNorm() < r2) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+}  // namespace bba

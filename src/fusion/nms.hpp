@@ -1,0 +1,20 @@
+#pragma once
+
+#include "detect/detection.hpp"
+
+namespace bba {
+
+/// Greedy non-maximum suppression by BEV IoU: keep the highest-score box,
+/// drop others overlapping it above `iouThreshold`, repeat. The merge
+/// primitive of late fusion.
+[[nodiscard]] Detections nonMaximumSuppression(Detections dets,
+                                               double iouThreshold = 0.3);
+
+/// Center-distance suppression: keep the highest-score box, drop others
+/// whose centers lie within `radius` meters, repeat. Used by the
+/// intermediate-fusion detection head, where misaligned duplicates of one
+/// object can sit too far apart for IoU-based NMS to associate — a learned
+/// head would emit a single box for the blobby fused feature.
+[[nodiscard]] Detections distanceSuppression(Detections dets, double radius);
+
+}  // namespace bba

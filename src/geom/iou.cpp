@@ -1,0 +1,34 @@
+#include "geom/iou.hpp"
+
+#include "geom/polygon.hpp"
+
+namespace bba {
+
+namespace {
+Polygon toPolygon(const OrientedBox2& b) {
+  const auto c = b.corners();
+  return Polygon(c.begin(), c.end());
+}
+}  // namespace
+
+double intersectionArea(const OrientedBox2& a, const OrientedBox2& b) {
+  // Cheap reject: circumscribed-circle distance test.
+  const double ra = a.halfExtent.norm();
+  const double rb = b.halfExtent.norm();
+  if ((a.center - b.center).squaredNorm() > (ra + rb) * (ra + rb)) return 0.0;
+  const Polygon inter = clipConvex(toPolygon(a), toPolygon(b));
+  return polygonArea(inter);
+}
+
+double rotatedIoU(const OrientedBox2& a, const OrientedBox2& b) {
+  const double inter = intersectionArea(a, b);
+  if (inter <= 0.0) return 0.0;
+  const double uni = a.area() + b.area() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double bevIoU(const Box3& a, const Box3& b) {
+  return rotatedIoU(a.projectBV(), b.projectBV());
+}
+
+}  // namespace bba

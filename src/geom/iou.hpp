@@ -1,0 +1,21 @@
+#pragma once
+
+#include "geom/obb.hpp"
+
+namespace bba {
+
+/// Intersection area between two oriented rectangles (exact, via convex
+/// polygon clipping).
+[[nodiscard]] double intersectionArea(const OrientedBox2& a,
+                                      const OrientedBox2& b);
+
+/// Rotated (BEV) Intersection-over-Union between two oriented rectangles.
+/// This is the IoU used by the paper's AP@IoU detection metric (Table I)
+/// and for identifying overlapping boxes in stage 2.
+[[nodiscard]] double rotatedIoU(const OrientedBox2& a, const OrientedBox2& b);
+
+/// BEV IoU between two 3-D boxes (projects to the ground plane; standard
+/// practice for lidar detection AP).
+[[nodiscard]] double bevIoU(const Box3& a, const Box3& b);
+
+}  // namespace bba

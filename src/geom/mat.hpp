@@ -1,0 +1,92 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "geom/vec.hpp"
+
+namespace bba {
+
+/// 3x3 matrix, row-major. Used for rotation matrices (Eq. 2) and 2-D
+/// homogeneous transforms.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static constexpr Mat3 identity() { return Mat3{}; }
+
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r * 3 + c)]; }
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r * 3 + c)]; }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 out;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) {
+        double s = 0.0;
+        for (int k = 0; k < 3; ++k) s += (*this)(r, k) * o(k, c);
+        out(r, c) = s;
+      }
+    return out;
+  }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  [[nodiscard]] Mat3 transposed() const {
+    Mat3 t;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) t(r, c) = (*this)(c, r);
+    return t;
+  }
+
+  [[nodiscard]] double det() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) -
+           m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  /// General inverse via the adjugate. Caller must ensure non-singularity.
+  [[nodiscard]] Mat3 inverse() const {
+    const double d = det();
+    Mat3 inv;
+    inv.m = {(m[4] * m[8] - m[5] * m[7]) / d, (m[2] * m[7] - m[1] * m[8]) / d,
+             (m[1] * m[5] - m[2] * m[4]) / d, (m[5] * m[6] - m[3] * m[8]) / d,
+             (m[0] * m[8] - m[2] * m[6]) / d, (m[2] * m[3] - m[0] * m[5]) / d,
+             (m[3] * m[7] - m[4] * m[6]) / d, (m[1] * m[6] - m[0] * m[7]) / d,
+             (m[0] * m[4] - m[1] * m[3]) / d};
+    return inv;
+  }
+};
+
+/// 4x4 homogeneous transform matrix, row-major (Eq. 1).
+struct Mat4 {
+  std::array<double, 16> m{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+
+  static constexpr Mat4 identity() { return Mat4{}; }
+
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r * 4 + c)]; }
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r * 4 + c)]; }
+
+  Mat4 operator*(const Mat4& o) const {
+    Mat4 out;
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) {
+        double s = 0.0;
+        for (int k = 0; k < 4; ++k) s += (*this)(r, k) * o(k, c);
+        out(r, c) = s;
+      }
+    return out;
+  }
+
+  /// Transform a 3-D point (w = 1), per Eq. 3 of the paper (column-vector
+  /// convention: p' = T * p).
+  [[nodiscard]] Vec3 transformPoint(const Vec3& p) const {
+    return {m[0] * p.x + m[1] * p.y + m[2] * p.z + m[3],
+            m[4] * p.x + m[5] * p.y + m[6] * p.z + m[7],
+            m[8] * p.x + m[9] * p.y + m[10] * p.z + m[11]};
+  }
+};
+
+}  // namespace bba

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+
+#include "geom/pose2.hpp"
+#include "geom/pose3.hpp"
+#include "geom/vec.hpp"
+
+namespace bba {
+
+/// Oriented 2-D rectangle on the ground (BV) plane: the projection of a
+/// 3-D detection box used by stage 2 of BB-Align.
+struct OrientedBox2 {
+  Vec2 center{};
+  Vec2 halfExtent{2.3, 1.0};  ///< half length (along heading) / half width
+  double yaw = 0.0;           ///< heading, radians
+
+  /// The four corners in a *consistent* counter-clockwise order starting
+  /// from the front-left corner in the box frame:
+  ///   0: (+l, +w)  1: (-l, +w)  2: (-l, -w)  3: (+l, -w)
+  /// The paper relies on consistently-ordered corners so that overlapping
+  /// detections of the same object pair up corner-for-corner.
+  [[nodiscard]] std::array<Vec2, 4> corners() const {
+    const Vec2 f = Vec2{std::cos(yaw), std::sin(yaw)} * halfExtent.x;
+    const Vec2 s = Vec2{-std::sin(yaw), std::cos(yaw)} * halfExtent.y;
+    return {center + f + s, center - f + s, center - f - s, center + f - s};
+  }
+
+  [[nodiscard]] double area() const {
+    return 4.0 * halfExtent.x * halfExtent.y;
+  }
+
+  /// Apply a rigid 2-D transform to the box.
+  [[nodiscard]] OrientedBox2 transformed(const Pose2& T) const {
+    return OrientedBox2{T.apply(center), halfExtent,
+                        wrapAngle(yaw + T.theta)};
+  }
+
+  /// Canonicalize the 180-degree heading ambiguity of a symmetric box:
+  /// returns an equivalent box with yaw in [-pi/2, pi/2). Two detections of
+  /// the same car from front/rear viewpoints then agree corner-for-corner.
+  [[nodiscard]] OrientedBox2 canonicalized() const {
+    OrientedBox2 b = *this;
+    b.yaw = wrapAngle(b.yaw);
+    if (b.yaw >= 1.5707963267948966) b.yaw -= 3.141592653589793;
+    if (b.yaw < -1.5707963267948966) b.yaw += 3.141592653589793;
+    return b;
+  }
+};
+
+/// Axis-aligned 3-D box plus yaw: the standard autonomous-driving detection
+/// box parameterization (center, size, heading).
+struct Box3 {
+  Vec3 center{};
+  Vec3 size{4.6, 2.0, 1.6};  ///< full extents: length, width, height
+  double yaw = 0.0;
+
+  /// Project onto the ground plane as the BV rectangle (Algorithm 1 line 2).
+  [[nodiscard]] OrientedBox2 projectBV() const {
+    return OrientedBox2{center.xy(), Vec2{size.x / 2.0, size.y / 2.0}, yaw};
+  }
+
+  /// Apply a rigid 3-D transform. Assumes the transform is planar-ish (the
+  /// ground-vehicle case): yaw adds the transform's yaw.
+  [[nodiscard]] Box3 transformed(const Pose3& T) const {
+    return Box3{T.apply(center), size, wrapAngle(yaw + T.yaw())};
+  }
+};
+
+}  // namespace bba

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/vec.hpp"
+
+namespace bba {
+
+/// Convex polygon as a CCW-ordered vertex list.
+using Polygon = std::vector<Vec2>;
+
+/// Signed area of a polygon (positive for CCW winding).
+[[nodiscard]] double polygonArea(const Polygon& poly);
+
+/// Clip a convex `subject` polygon against a convex `clip` polygon
+/// (Sutherland–Hodgman). Both must be CCW. Returns the (possibly empty)
+/// intersection polygon.
+[[nodiscard]] Polygon clipConvex(const Polygon& subject, const Polygon& clip);
+
+/// True if point p is inside (or on the boundary of) a CCW convex polygon.
+[[nodiscard]] bool pointInConvex(const Polygon& poly, const Vec2& p);
+
+}  // namespace bba

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cmath>
+
+#include "geom/mat.hpp"
+#include "geom/vec.hpp"
+
+namespace bba {
+
+/// Rigid 2-D transform (SE(2)): the 3-DoF pose (alpha, t_x, t_y) that
+/// BB-Align estimates. Composition/apply use the column-vector convention
+/// p' = R(theta) * p + t.
+struct Pose2 {
+  Vec2 t{};          ///< translation (t_x, t_y), meters
+  double theta = 0;  ///< rotation (yaw alpha), radians
+
+  constexpr Pose2() = default;
+  constexpr Pose2(Vec2 t_, double theta_) : t(t_), theta(theta_) {}
+  Pose2(double tx, double ty, double theta_) : t(tx, ty), theta(theta_) {}
+
+  static constexpr Pose2 identity() { return Pose2{}; }
+
+  /// Apply to a 2-D point.
+  [[nodiscard]] Vec2 apply(const Vec2& p) const { return p.rotated(theta) + t; }
+
+  /// this ∘ other: first apply `other`, then `this`.
+  [[nodiscard]] Pose2 compose(const Pose2& other) const {
+    return Pose2{apply(other.t), wrapAngle(theta + other.theta)};
+  }
+
+  [[nodiscard]] Pose2 inverse() const {
+    return Pose2{(-t).rotated(-theta), wrapAngle(-theta)};
+  }
+
+  /// 3x3 homogeneous matrix form.
+  [[nodiscard]] Mat3 toMatrix() const {
+    const double c = std::cos(theta), s = std::sin(theta);
+    Mat3 m;
+    m.m = {c, -s, t.x, s, c, t.y, 0, 0, 1};
+    return m;
+  }
+
+  /// Recover a Pose2 from a rigid homogeneous 3x3 matrix (rotation part is
+  /// re-orthogonalized via atan2, so mild numerical drift is tolerated).
+  static Pose2 fromMatrix(const Mat3& m) {
+    return Pose2{Vec2{m(0, 2), m(1, 2)}, std::atan2(m(1, 0), m(0, 0))};
+  }
+
+  /// Heading unit vector.
+  [[nodiscard]] Vec2 forward() const {
+    return {std::cos(theta), std::sin(theta)};
+  }
+};
+
+inline Pose2 operator*(const Pose2& a, const Pose2& b) { return a.compose(b); }
+
+/// Pose error between an estimate and ground truth, using the paper's
+/// metrics: Euclidean translation error on (t_x, t_y) and absolute yaw
+/// difference.
+struct PoseError {
+  double translation = 0;  ///< meters
+  double rotationDeg = 0;  ///< degrees
+};
+
+inline PoseError poseError(const Pose2& estimate, const Pose2& truth) {
+  PoseError e;
+  e.translation = (estimate.t - truth.t).norm();
+  e.rotationDeg = angularDistance(estimate.theta, truth.theta) * kRadToDeg;
+  return e;
+}
+
+}  // namespace bba

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cmath>
+
+#include "geom/mat.hpp"
+#include "geom/pose2.hpp"
+#include "geom/vec.hpp"
+
+namespace bba {
+
+/// Rigid 3-D transform (SE(3)) stored as rotation matrix + translation.
+/// Used for vehicle world poses and the final recovered transform T (Eq. 1).
+struct Pose3 {
+  Mat3 R = Mat3::identity();
+  Vec3 t{};
+
+  static Pose3 identity() { return Pose3{}; }
+
+  /// Rotation matrix from (yaw alpha, roll beta, pitch gamma), exactly
+  /// Eq. 2 of the paper.
+  static Mat3 rotationFromYawRollPitch(double alpha, double beta,
+                                       double gamma) {
+    const double ca = std::cos(alpha), sa = std::sin(alpha);
+    const double cb = std::cos(beta), sb = std::sin(beta);
+    const double cg = std::cos(gamma), sg = std::sin(gamma);
+    Mat3 R;
+    R.m = {ca * cb, ca * sb * sg - sa * cg, sa * sg + ca * sb * cg,
+           sa * cb, sa * sb * sg + ca * cg, cg * sb * sa - ca * sg,
+           -sb,     cb * sg,                cb * cg};
+    return R;
+  }
+
+  /// Build a full 3-D pose from the estimated 2-D pose plus the predefined
+  /// constants (beta, gamma, t_z) — the lift the paper performs after
+  /// Algorithm 1 line 17. For ground vehicles the constants default to 0.
+  static Pose3 fromPose2(const Pose2& p, double beta = 0.0,
+                         double gamma = 0.0, double tz = 0.0) {
+    Pose3 out;
+    out.R = rotationFromYawRollPitch(p.theta, beta, gamma);
+    out.t = {p.t.x, p.t.y, tz};
+    return out;
+  }
+
+  /// A pure planar pose (x, y, yaw) at height z.
+  static Pose3 planar(double x, double y, double yaw, double z = 0.0) {
+    return fromPose2(Pose2{x, y, yaw}, 0.0, 0.0, z);
+  }
+
+  [[nodiscard]] Vec3 apply(const Vec3& p) const { return R * p + t; }
+
+  [[nodiscard]] Pose3 compose(const Pose3& o) const {
+    Pose3 out;
+    out.R = R * o.R;
+    out.t = R * o.t + t;
+    return out;
+  }
+
+  [[nodiscard]] Pose3 inverse() const {
+    Pose3 out;
+    out.R = R.transposed();
+    out.t = -(out.R * t);
+    return out;
+  }
+
+  /// Homogeneous 4x4 matrix (Eq. 1).
+  [[nodiscard]] Mat4 toMatrix() const {
+    Mat4 m;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) m(r, c) = R(r, c);
+    }
+    m(0, 3) = t.x;
+    m(1, 3) = t.y;
+    m(2, 3) = t.z;
+    return m;
+  }
+
+  /// Planar projection: drop z and extract yaw (valid for ground-vehicle
+  /// poses whose roll/pitch are ~0).
+  [[nodiscard]] Pose2 toPose2() const {
+    return Pose2{Vec2{t.x, t.y}, std::atan2(R(1, 0), R(0, 0))};
+  }
+
+  [[nodiscard]] double yaw() const { return std::atan2(R(1, 0), R(0, 0)); }
+};
+
+inline Pose3 operator*(const Pose3& a, const Pose3& b) { return a.compose(b); }
+
+}  // namespace bba

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cmath>
+
+namespace bba {
+
+/// 2-D vector (double precision). Plain value type used for BV-plane
+/// positions, keypoint locations, and box corners.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  Vec2& operator+=(const Vec2& o) { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(const Vec2& o) { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+  [[nodiscard]] constexpr double dot(const Vec2& o) const {
+    return x * o.x + y * o.y;
+  }
+  /// z-component of the 3-D cross product (signed area measure).
+  [[nodiscard]] constexpr double cross(const Vec2& o) const {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+  [[nodiscard]] constexpr double squaredNorm() const { return x * x + y * y; }
+  /// Unit vector; returns (0,0) for the zero vector.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise rotation by `angle` radians.
+  [[nodiscard]] Vec2 rotated(double angle) const {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {c * x - s * y, s * x + c * y};
+  }
+  /// Perpendicular vector (rotated +90 degrees).
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// 3-D vector (double precision). Used for lidar points and 3-D boxes.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const {
+    return std::sqrt(x * x + y * y + z * z);
+  }
+  [[nodiscard]] constexpr double squaredNorm() const {
+    return x * x + y * y + z * z;
+  }
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  /// Drop the z component.
+  [[nodiscard]] constexpr Vec2 xy() const { return {x, y}; }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrapAngle(double a) {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  a = std::fmod(a, kTwoPi);
+  if (a <= -kTwoPi / 2.0) a += kTwoPi;
+  if (a > kTwoPi / 2.0) a -= kTwoPi;
+  return a;
+}
+
+/// Absolute angular difference in [0, pi].
+inline double angularDistance(double a, double b) {
+  return std::abs(wrapAngle(a - b));
+}
+
+constexpr double kDegToRad = 0.017453292519943295;
+constexpr double kRadToDeg = 57.29577951308232;
+
+}  // namespace bba

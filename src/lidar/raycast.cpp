@@ -1,0 +1,159 @@
+#include "lidar/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bba {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// 1-D slab test helper: intersect [tmin, tmax] with the parameter range
+/// where origin + t*dir lies in [lo, hi]. Returns false if empty.
+bool slab(double o, double d, double lo, double hi, double& tmin,
+          double& tmax) {
+  if (std::abs(d) < 1e-12) return o >= lo && o <= hi;
+  double t0 = (lo - o) / d;
+  double t1 = (hi - o) / d;
+  if (t0 > t1) std::swap(t0, t1);
+  tmin = std::max(tmin, t0);
+  tmax = std::min(tmax, t1);
+  return tmin <= tmax;
+}
+}  // namespace
+
+double rayPrism(const Vec3& origin, const Vec3& dir,
+                const OrientedBox2& footprint, double z0, double z1) {
+  // Rotate the ray into the footprint frame so the prism is axis-aligned.
+  const Vec2 o2 = (origin.xy() - footprint.center).rotated(-footprint.yaw);
+  const Vec2 d2 = dir.xy().rotated(-footprint.yaw);
+
+  double tmin = 0.0;
+  double tmax = kInf;
+  if (!slab(o2.x, d2.x, -footprint.halfExtent.x, footprint.halfExtent.x, tmin,
+            tmax))
+    return kInf;
+  if (!slab(o2.y, d2.y, -footprint.halfExtent.y, footprint.halfExtent.y, tmin,
+            tmax))
+    return kInf;
+  if (!slab(origin.z, dir.z, z0, z1, tmin, tmax)) return kInf;
+  if (tmax < 0.0) return kInf;
+  return tmin > 1e-12 ? tmin : kInf;  // origin inside the prism -> no return
+}
+
+double rayCylinder(const Vec3& origin, const Vec3& dir, const Vec2& center2,
+                   double radius, double z0, double z1) {
+  const Vec2 o = origin.xy() - center2;
+  const Vec2 d = dir.xy();
+  const double a = d.squaredNorm();
+  if (a < 1e-12) return kInf;  // vertical ray; trunk hit negligible
+  const double b = 2.0 * o.dot(d);
+  const double c = o.squaredNorm() - radius * radius;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) return kInf;
+  const double sq = std::sqrt(disc);
+  for (const double t : {(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)}) {
+    if (t < 0.0) continue;
+    const double z = origin.z + dir.z * t;
+    if (z >= z0 && z <= z1) return t;
+  }
+  return kInf;
+}
+
+double raySphere(const Vec3& origin, const Vec3& dir, const Vec3& center,
+                 double radius) {
+  const Vec3 o = origin - center;
+  const double b = 2.0 * o.dot(dir);
+  const double c = o.squaredNorm() - radius * radius;
+  const double disc = b * b - 4.0 * c;  // a == 1 for unit dir
+  if (disc < 0.0) return kInf;
+  const double sq = std::sqrt(disc);
+  const double t0 = (-b - sq) / 2.0;
+  if (t0 >= 0.0) return t0;
+  const double t1 = (-b + sq) / 2.0;
+  return t1 >= 0.0 ? t1 : kInf;
+}
+
+Raycaster::Raycaster(const World& world) : world_(&world) {
+  buildings_.reserve(world.buildings.size());
+  for (const auto& b : world.buildings) buildings_.push_back(&b);
+  trees_.reserve(world.trees.size());
+  for (const auto& t : world.trees) trees_.push_back(&t);
+}
+
+Raycaster::Raycaster(const World& world, const Vec2& focus, double radius)
+    : world_(&world) {
+  for (const auto& b : world.buildings) {
+    const double reach = radius + b.footprint.halfExtent.norm();
+    if ((b.footprint.center - focus).squaredNorm() <= reach * reach) {
+      buildings_.push_back(&b);
+    }
+  }
+  for (const auto& t : world.trees) {
+    const double reach = radius + t.crownRadius + t.trunkRadius;
+    if ((t.position - focus).squaredNorm() <= reach * reach) {
+      trees_.push_back(&t);
+    }
+  }
+}
+
+RayHit Raycaster::cast(const Vec3& origin, const Vec3& dir, double maxRange,
+                       double time, int excludeVehicleId) const {
+  RayHit best;
+  best.distance = maxRange;
+
+  // Ground plane z = 0.
+  if (dir.z < -1e-9) {
+    const double t = -origin.z / dir.z;
+    if (t >= 0.0 && t < best.distance) {
+      best.distance = t;
+      best.kind = HitKind::Ground;
+    }
+  }
+
+  for (const Building* b : buildings_) {
+    const double t = rayPrism(origin, dir, b->footprint, 0.0, b->height);
+    if (t < best.distance) {
+      best.distance = t;
+      best.kind = HitKind::Building;
+    }
+  }
+
+  for (const Tree* tr : trees_) {
+    if (tr->trunkRadius > 0.0 && tr->trunkHeight > 0.0) {
+      const double tt = rayCylinder(origin, dir, tr->position,
+                                    tr->trunkRadius, 0.0, tr->trunkHeight);
+      if (tt < best.distance) {
+        best.distance = tt;
+        best.kind = HitKind::TreeTrunk;
+      }
+    }
+    if (tr->crownRadius > 0.0) {
+      const Vec3 crownCenter{tr->position.x, tr->position.y,
+                             tr->trunkHeight + tr->crownRadius * 0.8};
+      const double tc = raySphere(origin, dir, crownCenter, tr->crownRadius);
+      if (tc < best.distance) {
+        best.distance = tc;
+        best.kind = HitKind::TreeCrown;
+      }
+    }
+  }
+
+  for (const auto& v : world_->vehicles) {
+    if (v.id == excludeVehicleId) continue;
+    const Box3 box = v.boxAt(time);
+    const OrientedBox2 fp{box.center.xy(),
+                          Vec2{box.size.x / 2.0, box.size.y / 2.0}, box.yaw};
+    const double t = rayPrism(origin, dir, fp, 0.0, box.size.z);
+    if (t < best.distance) {
+      best.distance = t;
+      best.kind = HitKind::Vehicle;
+      best.vehicleId = v.id;
+    }
+  }
+
+  if (best.kind == HitKind::None) best.distance = kInf;
+  return best;
+}
+
+}  // namespace bba

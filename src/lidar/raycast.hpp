@@ -1,0 +1,62 @@
+#pragma once
+
+#include <limits>
+
+#include "geom/vec.hpp"
+#include "sim/world.hpp"
+
+namespace bba {
+
+/// What a lidar ray hit.
+enum class HitKind { None, Ground, Building, TreeTrunk, TreeCrown, Vehicle };
+
+struct RayHit {
+  double distance = std::numeric_limits<double>::infinity();
+  HitKind kind = HitKind::None;
+  int vehicleId = -1;  ///< valid when kind == Vehicle
+
+  [[nodiscard]] bool valid() const { return kind != HitKind::None; }
+};
+
+/// Ray–scene intersection against the simulated world. Dynamic vehicles are
+/// queried at the ray's emission time, which is what creates self-motion
+/// smear on moving objects.
+class Raycaster {
+ public:
+  explicit Raycaster(const World& world);
+
+  /// Culled variant: only static objects within `radius` of `focus` are
+  /// considered (plus all vehicles). Use when every ray of a sweep starts
+  /// near one point — the common case — to skip out-of-range landmarks.
+  Raycaster(const World& world, const Vec2& focus, double radius);
+
+  /// Nearest intersection of the ray (origin, unit dir) with the scene at
+  /// time `time`, ignoring hits beyond `maxRange` and the vehicle with id
+  /// `excludeVehicleId` (the scanning car itself).
+  [[nodiscard]] RayHit cast(const Vec3& origin, const Vec3& dir,
+                            double maxRange, double time,
+                            int excludeVehicleId) const;
+
+ private:
+  const World* world_;
+  std::vector<const Building*> buildings_;
+  std::vector<const Tree*> trees_;
+};
+
+/// Intersection of a ray with a vertical extruded rectangle (prism spanning
+/// z in [z0, z1] over `footprint`). Returns the entry distance, or +inf.
+[[nodiscard]] double rayPrism(const Vec3& origin, const Vec3& dir,
+                              const OrientedBox2& footprint, double z0,
+                              double z1);
+
+/// Intersection with a vertical cylinder (center axis at `center2`,
+/// radius, z in [z0, z1]). Returns distance or +inf.
+[[nodiscard]] double rayCylinder(const Vec3& origin, const Vec3& dir,
+                                 const Vec2& center2, double radius,
+                                 double z0, double z1);
+
+/// Intersection with a sphere. Returns distance or +inf.
+[[nodiscard]] double raySphere(const Vec3& origin, const Vec3& dir,
+                               const Vec3& center, double radius);
+
+}  // namespace bba

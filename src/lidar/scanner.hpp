@@ -1,0 +1,30 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "lidar/lidar_model.hpp"
+#include "lidar/raycast.hpp"
+#include "pointcloud/point_cloud.hpp"
+#include "sim/world.hpp"
+
+namespace bba {
+
+/// Options for one simulated sweep.
+struct ScanOptions {
+  /// Model self-motion distortion: rays are emitted from the vehicle's
+  /// *instantaneous* pose during the sweep but points are recorded in the
+  /// scan-end frame — the raw-data behaviour stage 2 of BB-Align corrects.
+  /// When false, the whole sweep is captured from the scan-end snapshot
+  /// (an idealized, distortion-free sensor used in ablations/tests).
+  bool motionDistortion = true;
+};
+
+/// Simulate one full lidar sweep from vehicle `vehicleId`, ending at time
+/// `endTime`. Returned points are in the vehicle frame at `endTime`
+/// (uncompensated), each stamped with its within-sweep time offset
+/// (in [-sweepDuration, 0]).
+[[nodiscard]] PointCloud scanVehicle(const World& world, int vehicleId,
+                                     const LidarConfig& config,
+                                     double endTime, Rng& rng,
+                                     const ScanOptions& options = {});
+
+}  // namespace bba

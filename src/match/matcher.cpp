@@ -1,0 +1,85 @@
+#include "match/matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+namespace {
+/// Fixed-size top-k tracker of (index, distance) pairs, ascending by
+/// distance. k is small (<= 4 in practice), so insertion is linear.
+struct TopK {
+  explicit TopK(int k) : entries(static_cast<std::size_t>(k),
+                                 {-1, std::numeric_limits<float>::infinity()}) {}
+
+  void consider(int index, float d) {
+    if (d >= entries.back().second) return;
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), d,
+        [](float v, const std::pair<int, float>& e) { return v < e.second; });
+    entries.pop_back();
+    entries.insert(it, {index, d});
+  }
+
+  std::vector<std::pair<int, float>> entries;
+};
+}  // namespace
+
+std::vector<Match> matchDescriptors(const DescriptorSet& src,
+                                    const DescriptorSet& dst,
+                                    const MatchParams& prm) {
+  BBA_ASSERT(prm.topK >= 1);
+  std::vector<Match> out;
+  if (src.empty() || dst.empty()) return out;
+
+  // Precompute flipped variants of the source descriptors once.
+  std::vector<std::vector<float>> srcFlipped;
+  if (prm.useFlipped) {
+    srcFlipped.reserve(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i)
+      srcFlipped.push_back(src.flipped(i));
+  }
+
+  // Track one extra neighbour for the ratio test.
+  const int k = prm.topK + 1;
+  std::vector<TopK> forward(src.size(), TopK(k));
+  std::vector<std::pair<int, float>> backwardBest(
+      dst.size(), {-1, std::numeric_limits<float>::infinity()});
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    for (std::size_t j = 0; j < dst.size(); ++j) {
+      float d = descriptorDistance2(src.descriptor(i), dst.descriptor(j));
+      if (prm.useFlipped) {
+        d = std::min(d, descriptorDistance2(srcFlipped[i], dst.descriptor(j)));
+      }
+      forward[i].consider(static_cast<int>(j), d);
+      if (d < backwardBest[j].second) {
+        backwardBest[j] = {static_cast<int>(i), d};
+      }
+    }
+  }
+
+  const float ratio2 = prm.ratio * prm.ratio;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const auto& cands = forward[i].entries;
+    const float dLast = cands.back().second;  // (topK+1)-th distance
+    for (int rank = 0; rank < prm.topK; ++rank) {
+      const auto [j, d] = cands[static_cast<std::size_t>(rank)];
+      if (j < 0) break;
+      if (prm.ratio < 1.0f && std::isfinite(dLast) && dLast > 0.0f &&
+          d >= ratio2 * dLast)
+        continue;
+      if (prm.topK == 1 && prm.mutualCheck &&
+          backwardBest[static_cast<std::size_t>(j)].first !=
+              static_cast<int>(i))
+        continue;
+      out.push_back(Match{static_cast<int>(i), j, std::sqrt(d)});
+    }
+  }
+  return out;
+}
+
+}  // namespace bba

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "features/descriptor.hpp"
+
+namespace bba {
+
+/// A keypoint correspondence: indices into the source ("other" car) and
+/// destination ("ego" car) descriptor sets.
+struct Match {
+  int srcIndex = -1;
+  int dstIndex = -1;
+  float distance = 0.0f;  ///< Euclidean descriptor distance of the match
+};
+
+struct MatchParams {
+  /// Lowe ratio test: accept only if best/secondBest < ratio. 1.0 disables.
+  /// Left disabled by default: in repetitive road scenes the ratio test
+  /// starves RANSAC, whose overlap verification is the better filter.
+  float ratio = 1.0f;
+  /// Keep the k nearest destination descriptors per source keypoint. The
+  /// true counterpart frequently ranks 2nd or 3rd among self-similar
+  /// structure; downstream geometric verification discards the rest.
+  int topK = 2;
+  /// Require the match to be mutual (src's best dst also picks src back).
+  /// Only applied when topK == 1.
+  bool mutualCheck = false;
+  /// Also try each source descriptor's 180-degree-flipped variant and use
+  /// the smaller distance (resolves the MIM's pi rotation ambiguity).
+  bool useFlipped = true;
+};
+
+/// Brute-force descriptor matching by Euclidean distance (Algorithm 1
+/// line 9).
+[[nodiscard]] std::vector<Match> matchDescriptors(const DescriptorSet& src,
+                                                  const DescriptorSet& dst,
+                                                  const MatchParams& params = {});
+
+}  // namespace bba

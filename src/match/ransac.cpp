@@ -1,0 +1,324 @@
+#include "match/ransac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "geom/kabsch.hpp"
+
+namespace bba {
+
+namespace {
+
+/// Angular distance modulo pi, in [0, pi/2]. Orientations from the MIM are
+/// pi-periodic (a line has no front/back).
+double angDistPi(double a) {
+  a = std::fmod(a, std::numbers::pi);
+  if (a < 0.0) a += std::numbers::pi;
+  return std::min(a, std::numbers::pi - a);
+}
+
+struct Gate {
+  std::span<const double> srcOrient;
+  std::span<const double> dstOrient;
+  double tolerance = 0.0;
+
+  [[nodiscard]] bool enabled() const { return !srcOrient.empty(); }
+  [[nodiscard]] bool pass(std::size_t i, double theta) const {
+    if (!enabled()) return true;
+    return angDistPi(dstOrient[i] - srcOrient[i] - theta) <= tolerance;
+  }
+};
+
+int countInliers(const Pose2& T, std::span<const Vec2> src,
+                 std::span<const Vec2> dst, double threshold,
+                 const Gate& gate, std::vector<int>* indices) {
+  const double t2 = threshold * threshold;
+  int count = 0;
+  if (indices) indices->clear();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if ((dst[i] - T.apply(src[i])).squaredNorm() > t2) continue;
+    if (!gate.pass(i, T.theta)) continue;
+    ++count;
+    if (indices) indices->push_back(static_cast<int>(i));
+  }
+  return count;
+}
+
+Pose2 fitFromIndices(std::span<const Vec2> src, std::span<const Vec2> dst,
+                     const std::vector<int>& idx) {
+  std::vector<Vec2> s, d;
+  s.reserve(idx.size());
+  d.reserve(idx.size());
+  for (int i : idx) {
+    s.push_back(src[static_cast<std::size_t>(i)]);
+    d.push_back(dst[static_cast<std::size_t>(i)]);
+  }
+  return estimateRigid2D(s, d);
+}
+
+bool similarTransforms(const Pose2& a, const Pose2& b) {
+  return (a.t - b.t).norm() < 2.0 &&
+         angularDistance(a.theta, b.theta) < 6.0 * kDegToRad;
+}
+
+RansacResult refineWithGate(const Pose2& initial, std::span<const Vec2> src,
+                            std::span<const Vec2> dst,
+                            const RansacParams& prm, const Gate& gate) {
+  RansacResult best;
+  best.transform = initial;
+  best.inlierCount = countInliers(initial, src, dst, prm.inlierThreshold,
+                                  gate, &best.inlierIndices);
+  for (int round = 0; round < prm.refineRounds; ++round) {
+    if (best.inlierIndices.size() < 2) break;
+    const Pose2 refined = fitFromIndices(src, dst, best.inlierIndices);
+    std::vector<int> refinedIdx;
+    const int refinedCount = countInliers(refined, src, dst,
+                                          prm.inlierThreshold, gate,
+                                          &refinedIdx);
+    if (refinedCount >= best.inlierCount) {
+      best.transform = refined;
+      best.inlierCount = refinedCount;
+      best.inlierIndices = std::move(refinedIdx);
+    } else {
+      break;
+    }
+  }
+  best.ok = best.inlierCount >= prm.minInliers;
+  return best;
+}
+
+}  // namespace
+
+std::vector<RansacCandidate> ransacRigid2DCandidates(
+    std::span<const Vec2> src, std::span<const Vec2> dst,
+    const RansacParams& prm, Rng& rng, int maxCandidates,
+    std::span<const double> srcOrientations,
+    std::span<const double> dstOrientations) {
+  BBA_ASSERT(src.size() == dst.size());
+  BBA_ASSERT(srcOrientations.size() == dstOrientations.size());
+  BBA_ASSERT(srcOrientations.empty() || srcOrientations.size() == src.size());
+  BBA_ASSERT(maxCandidates >= 1);
+
+  const Gate gate{srcOrientations, dstOrientations,
+                  prm.orientationToleranceRad};
+  std::vector<RansacCandidate> top;  // sorted descending by inlierCount
+  const int n = static_cast<int>(src.size());
+  if (n < 2) return top;
+
+  for (int it = 0; it < prm.iterations; ++it) {
+    const int i = rng.uniformInt(0, n - 1);
+    const int j = rng.uniformInt(0, n - 1);
+    if (i == j) continue;
+
+    const Vec2 sv = src[static_cast<std::size_t>(j)] -
+                    src[static_cast<std::size_t>(i)];
+    const Vec2 dv = dst[static_cast<std::size_t>(j)] -
+                    dst[static_cast<std::size_t>(i)];
+    const double sn = sv.norm();
+    if (sn < prm.minPairSeparation) continue;
+    // A rigid transform preserves lengths: prune grossly inconsistent pairs
+    // before the (more expensive) inlier count.
+    if (std::abs(sn - dv.norm()) > 2.0 * prm.inlierThreshold) continue;
+
+    const double theta = std::atan2(dv.y, dv.x) - std::atan2(sv.y, sv.x);
+    if (prm.thetaPriorModPi >= 0.0 &&
+        angDistPi(theta - prm.thetaPriorModPi) > prm.thetaPriorTolerance)
+      continue;
+    // The minimal sample must itself pass the orientation gate.
+    if (!gate.pass(static_cast<std::size_t>(i), theta) ||
+        !gate.pass(static_cast<std::size_t>(j), theta))
+      continue;
+
+    const Vec2 t = dst[static_cast<std::size_t>(i)] -
+                   src[static_cast<std::size_t>(i)].rotated(theta);
+    const Pose2 hyp{t, wrapAngle(theta)};
+    if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
+      continue;
+    const int inliers =
+        countInliers(hyp, src, dst, prm.inlierThreshold, gate, nullptr);
+    if (inliers < 2) continue;
+
+    // Merge into the top-K list, deduplicating near-identical transforms.
+    bool merged = false;
+    for (auto& cand : top) {
+      if (similarTransforms(cand.transform, hyp)) {
+        if (inliers > cand.inlierCount) {
+          cand.transform = hyp;
+          cand.inlierCount = inliers;
+        }
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) top.push_back(RansacCandidate{hyp, inliers});
+    std::sort(top.begin(), top.end(),
+              [](const RansacCandidate& a, const RansacCandidate& b) {
+                return a.inlierCount > b.inlierCount;
+              });
+    if (top.size() > static_cast<std::size_t>(maxCandidates)) {
+      top.resize(static_cast<std::size_t>(maxCandidates));
+    }
+  }
+  return top;
+}
+
+RansacResult ransacTranslation2D(std::span<const Vec2> src,
+                                 std::span<const Vec2> dst,
+                                 const RansacParams& prm, Rng& rng) {
+  BBA_ASSERT(src.size() == dst.size());
+  RansacResult best;
+  const int n = static_cast<int>(src.size());
+  if (n < 1) return best;
+
+  const double t2 = prm.inlierThreshold * prm.inlierThreshold;
+  const auto count = [&](const Vec2& t, std::vector<int>* idx) {
+    int c = 0;
+    if (idx) idx->clear();
+    for (std::size_t k = 0; k < src.size(); ++k) {
+      if ((dst[k] - (src[k] + t)).squaredNorm() > t2) continue;
+      ++c;
+      if (idx) idx->push_back(static_cast<int>(k));
+    }
+    return c;
+  };
+
+  Vec2 bestT;
+  for (int it = 0; it < prm.iterations; ++it) {
+    const int i = rng.uniformInt(0, n - 1);
+    const Vec2 t = dst[static_cast<std::size_t>(i)] -
+                   src[static_cast<std::size_t>(i)];
+    if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
+      continue;
+    const int inliers = count(t, nullptr);
+    if (inliers > best.inlierCount) {
+      best.inlierCount = inliers;
+      bestT = t;
+    }
+  }
+  if (best.inlierCount < 1) return best;
+
+  // Refine: mean residual over the inlier set, iterated.
+  count(bestT, &best.inlierIndices);
+  for (int round = 0; round < prm.refineRounds; ++round) {
+    if (best.inlierIndices.empty()) break;
+    Vec2 mean{};
+    for (int k : best.inlierIndices) {
+      mean += dst[static_cast<std::size_t>(k)] -
+              src[static_cast<std::size_t>(k)];
+    }
+    mean = mean / static_cast<double>(best.inlierIndices.size());
+    std::vector<int> idx;
+    const int c = count(mean, &idx);
+    if (c >= best.inlierCount) {
+      bestT = mean;
+      best.inlierCount = c;
+      best.inlierIndices = std::move(idx);
+    } else {
+      break;
+    }
+  }
+  best.transform = Pose2{bestT, 0.0};
+  best.ok = best.inlierCount >= prm.minInliers;
+  return best;
+}
+
+VerifiedRansacResult ransacRigid2DVerified(
+    std::span<const Vec2> src, std::span<const Vec2> dst,
+    const RansacParams& prm, Rng& rng, const PoseVerifier& verifier,
+    std::span<const double> srcOrientations,
+    std::span<const double> dstOrientations) {
+  BBA_ASSERT(src.size() == dst.size());
+  BBA_ASSERT(srcOrientations.size() == dstOrientations.size());
+  BBA_ASSERT(srcOrientations.empty() || srcOrientations.size() == src.size());
+  BBA_ASSERT(static_cast<bool>(verifier));
+
+  const Gate gate{srcOrientations, dstOrientations,
+                  prm.orientationToleranceRad};
+  VerifiedRansacResult best;
+  const int n = static_cast<int>(src.size());
+  if (n < 2) return best;
+
+  // Transforms already sent to the verifier, so near-duplicates of a
+  // scored hypothesis don't pay for verification again.
+  std::vector<Pose2> verified;
+
+  for (int it = 0; it < prm.iterations; ++it) {
+    const int i = rng.uniformInt(0, n - 1);
+    const int j = rng.uniformInt(0, n - 1);
+    if (i == j) continue;
+
+    const Vec2 sv = src[static_cast<std::size_t>(j)] -
+                    src[static_cast<std::size_t>(i)];
+    const Vec2 dv = dst[static_cast<std::size_t>(j)] -
+                    dst[static_cast<std::size_t>(i)];
+    const double sn = sv.norm();
+    if (sn < prm.minPairSeparation) continue;
+    if (std::abs(sn - dv.norm()) > 2.0 * prm.inlierThreshold) continue;
+
+    const double theta = std::atan2(dv.y, dv.x) - std::atan2(sv.y, sv.x);
+    if (prm.thetaPriorModPi >= 0.0 &&
+        angDistPi(theta - prm.thetaPriorModPi) > prm.thetaPriorTolerance)
+      continue;
+    if (!gate.pass(static_cast<std::size_t>(i), theta) ||
+        !gate.pass(static_cast<std::size_t>(j), theta))
+      continue;
+
+    const Vec2 t = dst[static_cast<std::size_t>(i)] -
+                   src[static_cast<std::size_t>(i)].rotated(theta);
+    const Pose2 hyp{t, wrapAngle(theta)};
+    if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
+      continue;
+
+    bool seen = false;
+    for (const Pose2& v : verified) {
+      if (similarTransforms(v, hyp)) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+
+    const int inliers =
+        countInliers(hyp, src, dst, prm.inlierThreshold, gate, nullptr);
+    if (inliers < std::max(2, prm.minInliers)) continue;
+
+    verified.push_back(hyp);
+    const double score = verifier(hyp);
+    if (score > best.verifierScore) {
+      best.verifierScore = score;
+      best.ransac.transform = hyp;
+      best.ransac.inlierCount = inliers;
+    }
+  }
+
+  if (best.verifierScore < 0.0) return best;
+  best.ransac = refineWithGate(best.ransac.transform, src, dst, prm, gate);
+  return best;
+}
+
+RansacResult refineRigid2D(const Pose2& initial, std::span<const Vec2> src,
+                           std::span<const Vec2> dst,
+                           const RansacParams& prm,
+                           std::span<const double> srcOrientations,
+                           std::span<const double> dstOrientations) {
+  BBA_ASSERT(src.size() == dst.size());
+  const Gate gate{srcOrientations, dstOrientations,
+                  prm.orientationToleranceRad};
+  return refineWithGate(initial, src, dst, prm, gate);
+}
+
+RansacResult ransacRigid2D(std::span<const Vec2> src,
+                           std::span<const Vec2> dst,
+                           const RansacParams& prm, Rng& rng,
+                           std::span<const double> srcOrientations,
+                           std::span<const double> dstOrientations) {
+  const auto candidates = ransacRigid2DCandidates(
+      src, dst, prm, rng, 1, srcOrientations, dstOrientations);
+  if (candidates.empty()) return RansacResult{};
+  return refineRigid2D(candidates.front().transform, src, dst, prm,
+                       srcOrientations, dstOrientations);
+}
+
+}  // namespace bba

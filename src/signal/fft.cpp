@@ -1,0 +1,82 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+void fft1d(std::span<Complexf> data, bool inverse) {
+  const std::size_t n = data.size();
+  BBA_ASSERT_MSG(isPowerOfTwo(static_cast<int>(n)),
+                 "fft1d requires power-of-two length");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complexf wlen(static_cast<float>(std::cos(ang)),
+                        static_cast<float>(std::sin(ang)));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complexf w(1.0f, 0.0f);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complexf u = data[i + k];
+        const Complexf v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float inv = 1.0f / static_cast<float>(n);
+    for (auto& c : data) c *= inv;
+  }
+}
+
+ComplexImage ComplexImage::fromReal(const ImageF& img) {
+  ComplexImage out(img.width(), img.height());
+  const auto& src = img.data();
+  auto& dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = Complexf(src[i], 0.0f);
+  return out;
+}
+
+ImageF ComplexImage::magnitude() const {
+  ImageF out(w_, h_);
+  auto& dst = out.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) dst[i] = std::abs(data_[i]);
+  return out;
+}
+
+void fft2d(ComplexImage& img, bool inverse) {
+  const int w = img.width();
+  const int h = img.height();
+  BBA_ASSERT_MSG(isPowerOfTwo(w) && isPowerOfTwo(h),
+                 "fft2d requires power-of-two dimensions");
+
+  // Rows in place.
+  for (int y = 0; y < h; ++y) {
+    fft1d(std::span<Complexf>(&img(0, y), static_cast<std::size_t>(w)),
+          inverse);
+  }
+  // Columns via a scratch buffer.
+  std::vector<Complexf> col(static_cast<std::size_t>(h));
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) col[static_cast<std::size_t>(y)] = img(x, y);
+    fft1d(col, inverse);
+    for (int y = 0; y < h; ++y) img(x, y) = col[static_cast<std::size_t>(y)];
+  }
+}
+
+}  // namespace bba

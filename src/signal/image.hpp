@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+/// Dense row-major 2-D raster. Lightweight value type used for BV images,
+/// Log-Gabor responses, MIMs and BEV feature grids.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, T fill = T{})
+      : w_(width), h_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+    BBA_ASSERT(width >= 0 && height >= 0);
+  }
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Unchecked pixel access (hot paths); (x, y) with x the column.
+  T& operator()(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) + static_cast<std::size_t>(x)];
+  }
+  const T& operator()(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(w_) + static_cast<std::size_t>(x)];
+  }
+
+  /// Bounds-checked access; throws AssertionError when out of range.
+  T& at(int x, int y) {
+    BBA_ASSERT(inBounds(x, y));
+    return (*this)(x, y);
+  }
+  [[nodiscard]] const T& at(int x, int y) const {
+    BBA_ASSERT(inBounds(x, y));
+    return (*this)(x, y);
+  }
+
+  [[nodiscard]] bool inBounds(int x, int y) const {
+    return x >= 0 && x < w_ && y >= 0 && y < h_;
+  }
+
+  /// Clamped read: out-of-bounds coordinates are clamped to the border.
+  [[nodiscard]] T clampedAt(int x, int y) const {
+    x = std::clamp(x, 0, w_ - 1);
+    y = std::clamp(y, 0, h_ - 1);
+    return (*this)(x, y);
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] T maxValue() const {
+    BBA_ASSERT(!data_.empty());
+    return *std::max_element(data_.begin(), data_.end());
+  }
+
+  std::vector<T>& data() { return data_; }
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageF = Image<float>;
+using ImageU8 = Image<unsigned char>;
+
+}  // namespace bba

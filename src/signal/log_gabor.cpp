@@ -1,0 +1,109 @@
+#include "signal/log_gabor.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+LogGaborBank::LogGaborBank(int width, int height,
+                           const LogGaborParams& params)
+    : w_(width), h_(height), params_(params) {
+  BBA_ASSERT_MSG(isPowerOfTwo(width) && isPowerOfTwo(height),
+                 "LogGaborBank requires power-of-two dimensions");
+  BBA_ASSERT(params.numScales >= 1 && params.numOrientations >= 2);
+
+  const int ns = params.numScales;
+  const int no = params.numOrientations;
+  filters_.reserve(static_cast<std::size_t>(ns * no));
+
+  const double sigmaTheta =
+      params.thetaSigmaRatio * std::numbers::pi / static_cast<double>(no);
+  const double logSigmaOnf2 =
+      2.0 * std::log(params.sigmaOnf) * std::log(params.sigmaOnf);
+
+  for (int s = 0; s < ns; ++s) {
+    const double wavelength =
+        params.minWavelength * std::pow(params.mult, static_cast<double>(s));
+    const double f0 = 1.0 / wavelength;  // center frequency (cycles/pixel)
+    for (int o = 0; o < no; ++o) {
+      const double theta0 =
+          static_cast<double>(o) * std::numbers::pi / static_cast<double>(no);
+      const double cos0 = std::cos(theta0);
+      const double sin0 = std::sin(theta0);
+
+      ImageF filt(w_, h_);
+      for (int y = 0; y < h_; ++y) {
+        // FFT frequency coordinate in cycles/pixel, wrapped to [-0.5, 0.5).
+        const double fy =
+            (y <= h_ / 2 ? y : y - h_) / static_cast<double>(h_);
+        for (int x = 0; x < w_; ++x) {
+          const double fx =
+              (x <= w_ / 2 ? x : x - w_) / static_cast<double>(w_);
+          const double r = std::sqrt(fx * fx + fy * fy);
+          if (r == 0.0) {
+            filt(x, y) = 0.0f;  // log-Gabor has zero DC response
+            continue;
+          }
+          const double lr = std::log(r / f0);
+          const double radial = std::exp(-(lr * lr) / logSigmaOnf2);
+
+          // One-sided angular spread: full-circle angular distance keeps
+          // only the half-plane around theta0, producing an analytic
+          // (complex) spatial response.
+          const double phi = std::atan2(fy, fx);
+          const double ds = std::sin(phi) * cos0 - std::cos(phi) * sin0;
+          const double dc = std::cos(phi) * cos0 + std::sin(phi) * sin0;
+          const double dTheta = std::abs(std::atan2(ds, dc));
+          const double angular =
+              std::exp(-(dTheta * dTheta) / (2.0 * sigmaTheta * sigmaTheta));
+
+          filt(x, y) = static_cast<float>(radial * angular);
+        }
+      }
+      filters_.push_back(std::move(filt));
+    }
+  }
+}
+
+const ImageF& LogGaborBank::filter(int s, int o) const {
+  BBA_ASSERT(s >= 0 && s < params_.numScales);
+  BBA_ASSERT(o >= 0 && o < params_.numOrientations);
+  return filters_[static_cast<std::size_t>(s * params_.numOrientations + o)];
+}
+
+std::vector<ImageF> LogGaborBank::orientationAmplitudes(
+    const ImageF& img) const {
+  BBA_ASSERT_MSG(img.width() == w_ && img.height() == h_,
+                 "image dimensions must match the bank");
+
+  ComplexImage spectrum = ComplexImage::fromReal(img);
+  fft2d(spectrum, /*inverse=*/false);
+
+  const int ns = params_.numScales;
+  const int no = params_.numOrientations;
+  std::vector<ImageF> amp(static_cast<std::size_t>(no), ImageF(w_, h_, 0.0f));
+
+  ComplexImage response(w_, h_);
+  for (int o = 0; o < no; ++o) {
+    ImageF& acc = amp[static_cast<std::size_t>(o)];
+    for (int s = 0; s < ns; ++s) {
+      const ImageF& filt = filter(s, o);
+      auto& rdata = response.data();
+      const auto& sdata = spectrum.data();
+      const auto& fdata = filt.data();
+      for (std::size_t i = 0; i < rdata.size(); ++i) {
+        rdata[i] = sdata[i] * fdata[i];
+      }
+      fft2d(response, /*inverse=*/true);
+      auto& adata = acc.data();
+      for (std::size_t i = 0; i < adata.size(); ++i) {
+        adata[i] += std::abs(response.data()[i]);
+      }
+    }
+  }
+  return amp;
+}
+
+}  // namespace bba

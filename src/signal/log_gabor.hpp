@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "signal/fft.hpp"
+#include "signal/image.hpp"
+
+namespace bba {
+
+/// Parameters of the 2-D Log-Gabor filter bank (Eqs. 6–9 of the paper;
+/// radial profile per Kovesi's log-Gabor formulation referenced by the
+/// paper's footnote 2 / ref. [32]).
+struct LogGaborParams {
+  int numScales = 4;        ///< N_s in the paper (default 4)
+  int numOrientations = 12; ///< N_o in the paper (default 12)
+  /// Wavelength (pixels) of the smallest-scale filter.
+  double minWavelength = 3.0;
+  /// Scale multiplier between successive filters (rho_s spacing).
+  double mult = 2.1;
+  /// Ratio sigma_rho / f_0 of the log-normal radial profile bandwidth.
+  double sigmaOnf = 0.55;
+  /// Angular stddev as a fraction of the orientation spacing pi/N_o
+  /// (sigma_theta = thetaSigmaRatio * pi / N_o).
+  double thetaSigmaRatio = 1.3;
+};
+
+/// Precomputed frequency-domain Log-Gabor filter bank for a fixed image
+/// size. Building the bank is O(N_s * N_o * W * H) and done once; applying
+/// it to an image costs one forward FFT plus one inverse FFT per filter.
+class LogGaborBank {
+ public:
+  /// Build the bank for images of the given power-of-two dimensions.
+  LogGaborBank(int width, int height, const LogGaborParams& params = {});
+
+  [[nodiscard]] int width() const { return w_; }
+  [[nodiscard]] int height() const { return h_; }
+  [[nodiscard]] const LogGaborParams& params() const { return params_; }
+
+  /// Real-valued frequency response of filter (scale s, orientation o).
+  [[nodiscard]] const ImageF& filter(int s, int o) const;
+
+  /// Per-orientation amplitude maps of `img`: result[o](x, y) is
+  /// A(x, y, o) = sum_s |(img * L_{s,o})(x, y)|   (Eqs. 8–9).
+  ///
+  /// Filters are one-sided in the frequency domain, so each spatial
+  /// response is complex (even + i*odd) and its modulus is the local
+  /// energy — robust to the sparse, spiky structure of BV images.
+  [[nodiscard]] std::vector<ImageF> orientationAmplitudes(
+      const ImageF& img) const;
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  LogGaborParams params_;
+  std::vector<ImageF> filters_;  // numScales * numOrientations, s-major
+};
+
+}  // namespace bba

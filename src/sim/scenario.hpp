@@ -1,0 +1,50 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/world.hpp"
+
+namespace bba {
+
+/// Knobs of the procedural two-car driving scenario. Defaults produce a
+/// mid-density suburban road similar to the V2V4Real capture environment;
+/// the experiment harnesses sweep individual fields (separation, traffic,
+/// landmark density) to reproduce each figure.
+struct ScenarioConfig {
+  /// Road geometry. The road runs along +x through the origin; lanes are
+  /// mirrored around the centerline.
+  double roadLength = 400.0;
+  double laneWidth = 3.5;
+  /// Curvature (1/m) of the road; vehicles follow matching arcs. 0 = straight.
+  double roadCurvature = 0.0;
+
+  /// Static landmarks per side of the road. Trees/poles/bushes are the
+  /// omnidirectional point features that anchor cross-view matching (a
+  /// building corner is only seen from one side at a time); suburban
+  /// roadside densities are high and matter for matchability.
+  int buildingsPerSide = 12;
+  int treesPerSide = 30;
+  /// Probability of dropping each landmark — models open, feature-poor
+  /// stretches where pose recovery is expected to fail (§V-A success rate).
+  double openAreaFraction = 0.0;
+
+  /// Traffic.
+  int movingVehicles = 10;
+  int parkedVehicles = 8;
+
+  /// Instrumented pair. `separation` is the straight-line distance between
+  /// the two cars at t = 0.
+  double separation = 40.0;
+  double egoSpeed = 10.0;
+  double otherSpeed = 12.0;
+  double otherLateralOffset = 3.5;
+  /// Random heading perturbation of the other car (degrees, uniform ±).
+  double otherHeadingJitterDeg = 8.0;
+  /// Other car drives the opposite direction (oncoming).
+  bool oppositeDirection = false;
+};
+
+/// Build a world from the config, consuming randomness from `rng`.
+/// Vehicle ids: 0 = ego, 1 = other, 2+ = traffic.
+[[nodiscard]] World makeScenario(const ScenarioConfig& config, Rng& rng);
+
+}  // namespace bba

@@ -1,0 +1,40 @@
+#include "sim/trajectory.hpp"
+
+#include <cmath>
+
+namespace bba {
+
+Trajectory Trajectory::stationary(const Pose2& pose) {
+  return Trajectory(pose, 0.0, 0.0);
+}
+
+Trajectory Trajectory::straight(const Pose2& start, double speed) {
+  return Trajectory(start, speed, 0.0);
+}
+
+Trajectory Trajectory::arc(const Pose2& start, double speed, double yawRate) {
+  return Trajectory(start, speed, yawRate);
+}
+
+Pose2 Trajectory::pose(double t) const {
+  const double theta = wrapAngle(start_.theta + yawRate_ * t);
+  // Near-zero yaw rate degenerates to straight-line motion; the closed-form
+  // arc solution divides by the yaw rate.
+  if (std::abs(yawRate_) < 1e-9) {
+    const Vec2 p = start_.t + start_.forward() * (speed_ * t);
+    return Pose2{p, theta};
+  }
+  const double radius = speed_ / yawRate_;
+  const Vec2 center =
+      start_.t + Vec2{-std::sin(start_.theta), std::cos(start_.theta)} * radius;
+  const double a = start_.theta + yawRate_ * t;
+  const Vec2 p = center + Vec2{std::sin(a), -std::cos(a)} * radius;
+  return Pose2{p, theta};
+}
+
+Vec2 Trajectory::velocity(double t) const {
+  const double theta = start_.theta + yawRate_ * t;
+  return Vec2{std::cos(theta), std::sin(theta)} * speed_;
+}
+
+}  // namespace bba

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "geom/pose2.hpp"
+
+namespace bba {
+
+/// Planar constant-twist trajectory: a pose evolving with constant forward
+/// speed and constant yaw rate. Covers the three motion archetypes of the
+/// simulated world — stationary obstacles, straight lane driving, and
+/// curved turns — and is exactly integrable, so sensor poses can be sampled
+/// at the sub-sweep timestamps needed to model self-motion distortion.
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// A pose that never moves (parked cars, reference checks).
+  static Trajectory stationary(const Pose2& pose);
+
+  /// Constant speed along the initial heading.
+  static Trajectory straight(const Pose2& start, double speed);
+
+  /// Constant speed and yaw rate (circular arc).
+  static Trajectory arc(const Pose2& start, double speed, double yawRate);
+
+  /// Pose at time t (seconds, t = 0 is the start pose).
+  [[nodiscard]] Pose2 pose(double t) const;
+
+  /// Instantaneous planar velocity vector at time t.
+  [[nodiscard]] Vec2 velocity(double t) const;
+
+  [[nodiscard]] double speed() const { return speed_; }
+  [[nodiscard]] double yawRate() const { return yawRate_; }
+
+ private:
+  Trajectory(const Pose2& start, double speed, double yawRate)
+      : start_(start), speed_(speed), yawRate_(yawRate) {}
+
+  Pose2 start_{};
+  double speed_ = 0.0;
+  double yawRate_ = 0.0;
+};
+
+}  // namespace bba

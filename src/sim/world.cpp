@@ -1,0 +1,22 @@
+#include "sim/world.hpp"
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+const SimVehicle& World::vehicleById(int id) const {
+  for (const auto& v : vehicles) {
+    if (v.id == id) return v;
+  }
+  throw ComputationError("World::vehicleById: unknown vehicle id");
+}
+
+Pose2 World::relativePoseOtherToEgo(double t) const {
+  BBA_ASSERT_MSG(egoVehicleId >= 0 && otherVehicleId >= 0,
+                 "world has no instrumented vehicle pair");
+  const Pose2 ego = vehicleById(egoVehicleId).trajectory.pose(t);
+  const Pose2 other = vehicleById(otherVehicleId).trajectory.pose(t);
+  return ego.inverse().compose(other);
+}
+
+}  // namespace bba

@@ -1,0 +1,51 @@
+#include "spatial/voxel.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+namespace {
+struct Accum {
+  Vec3 sum{};
+  double timeSum = 0.0;
+  std::size_t count = 0;
+};
+
+std::uint64_t cellKey(const Vec3& p, double inv) {
+  // 21-bit signed packing per axis: supports ~±1e6 cells — far beyond any
+  // scene this library produces.
+  const auto q = [&](double v) {
+    return static_cast<std::uint64_t>(
+               static_cast<std::int64_t>(std::floor(v * inv)) + (1 << 20)) &
+           0x1FFFFF;
+  };
+  return q(p.x) | (q(p.y) << 21) | (q(p.z) << 42);
+}
+}  // namespace
+
+PointCloud voxelDownsample(const PointCloud& cloud, double cellSize) {
+  BBA_ASSERT_MSG(cellSize > 0.0, "voxel cell size must be positive");
+  std::unordered_map<std::uint64_t, Accum> cells;
+  cells.reserve(cloud.size());
+  const double inv = 1.0 / cellSize;
+  for (const auto& lp : cloud.points) {
+    Accum& a = cells[cellKey(lp.p, inv)];
+    a.sum += lp.p;
+    a.timeSum += lp.time;
+    ++a.count;
+  }
+  PointCloud out;
+  out.reserve(cells.size());
+  for (const auto& [key, a] : cells) {
+    (void)key;
+    const double n = static_cast<double>(a.count);
+    out.push(a.sum / n, static_cast<float>(a.timeSum / n));
+  }
+  return out;
+}
+
+}  // namespace bba

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace bba {
+
+/// Downsample a cloud by averaging points within cubic voxels of edge
+/// `cellSize` (meters). Keeps the mean timestamp per voxel. Used to bound
+/// ICP/clustering cost and to emulate transmitting decimated clouds.
+[[nodiscard]] PointCloud voxelDownsample(const PointCloud& cloud,
+                                         double cellSize);
+
+}  // namespace bba

@@ -1,0 +1,210 @@
+// detect module: clustering detector box fitting, simulated detector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "detect/cluster_detector.hpp"
+#include "detect/simulated_detector.hpp"
+#include "geom/iou.hpp"
+#include "sim/scenario.hpp"
+
+namespace bba {
+namespace {
+
+/// Synthesize the lidar returns of a car at `box` as seen from `sensor`:
+/// points on the visible faces.
+PointCloud carReturns(const Box3& box, const Vec2& sensor, Rng& rng,
+                      double spacing = 0.12) {
+  PointCloud out;
+  const OrientedBox2 fp = box.projectBV();
+  const auto corners = fp.corners();
+  for (int e = 0; e < 4; ++e) {
+    const Vec2 a = corners[static_cast<std::size_t>(e)];
+    const Vec2 b = corners[static_cast<std::size_t>((e + 1) % 4)];
+    // A face is visible if the sensor is on its outward side.
+    const Vec2 mid = (a + b) * 0.5;
+    const Vec2 outward = (mid - fp.center).normalized();
+    if ((sensor - mid).normalized().dot(outward) <= 0.05) continue;
+    const double len = (b - a).norm();
+    for (double s = 0.0; s <= len; s += spacing) {
+      const Vec2 p = a + (b - a) * (s / len);
+      for (double z = 0.4; z <= 1.4; z += 0.35) {
+        out.push(Vec3{p.x + rng.normal(0, 0.02), p.y + rng.normal(0, 0.02),
+                      z});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ClusterDetector, FitsSideViewCar) {
+  Rng rng(1);
+  Box3 car;
+  car.center = {20.0, 8.0, 0.8};
+  car.size = {4.6, 2.0, 1.6};
+  car.yaw = 0.2;
+  const PointCloud cloud = carReturns(car, {0, 0}, rng);
+  ASSERT_GT(cloud.size(), 30u);
+  const Detections dets = detectByClustering(cloud);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_GT(bevIoU(dets[0].box, car), 0.5);
+  double dy = std::abs(std::remainder(dets[0].box.yaw - car.yaw, M_PI));
+  EXPECT_LT(dy * kRadToDeg, 6.0);
+}
+
+TEST(ClusterDetector, FaceOnlyViewUsesRayPrior) {
+  // A car directly ahead, same heading: only its rear face is visible.
+  Rng rng(2);
+  Box3 car;
+  car.center = {18.0, 0.0, 0.8};
+  car.size = {4.6, 2.0, 1.6};
+  car.yaw = 0.0;
+  const PointCloud cloud = carReturns(car, {0, 0}, rng);
+  const Detections dets = detectByClustering(cloud);
+  ASSERT_EQ(dets.size(), 1u);
+  // Yaw must align with the viewing ray (the car's axis), not the face.
+  double dy = std::abs(std::remainder(dets[0].box.yaw - car.yaw, M_PI));
+  EXPECT_LT(dy * kRadToDeg, 15.0);
+  // The box is expanded away from the sensor, so the center is behind the
+  // visible face: center error along x should be small.
+  EXPECT_LT(std::abs(dets[0].box.center.x - car.center.x), 1.2);
+}
+
+TEST(ClusterDetector, MultipleCarsSeparateDetections) {
+  Rng rng(3);
+  PointCloud cloud;
+  std::vector<Box3> cars;
+  for (int i = 0; i < 3; ++i) {
+    Box3 car;
+    car.center = {15.0 + 12.0 * i, -6.0 + 6.0 * i, 0.8};
+    car.size = {4.5, 1.9, 1.5};
+    car.yaw = 0.3 * i;
+    cars.push_back(car);
+    const PointCloud c = carReturns(car, {0, 0}, rng);
+    cloud.points.insert(cloud.points.end(), c.points.begin(),
+                        c.points.end());
+  }
+  const Detections dets = detectByClustering(cloud);
+  ASSERT_EQ(dets.size(), 3u);
+  for (const Box3& car : cars) {
+    double best = 0;
+    for (const auto& d : dets) best = std::max(best, bevIoU(d.box, car));
+    EXPECT_GT(best, 0.45);
+  }
+}
+
+TEST(ClusterDetector, IgnoresWallsAndTinyClutter) {
+  Rng rng(4);
+  PointCloud cloud;
+  // A long wall segment (extent > maxExtent).
+  for (double x = 5; x < 25; x += 0.1) {
+    cloud.push({x, 10.0, 1.0});
+    cloud.push({x, 10.0, 1.8});
+  }
+  // Tiny clutter (below minExtent / minPoints).
+  cloud.push({3, -3, 1.0});
+  cloud.push({3.1, -3, 1.0});
+  const Detections dets = detectByClustering(cloud);
+  EXPECT_TRUE(dets.empty());
+}
+
+TEST(ClusterDetector, TallStructureSuppression) {
+  Rng rng(5);
+  // A car-sized cluster attached to a tall wall: suppressed.
+  PointCloud cloud;
+  for (double x = 10; x < 14; x += 0.1) {
+    for (double z = 0.4; z <= 2.0; z += 0.4) cloud.push({x, 5.0, z});
+    cloud.push({x, 5.2, 5.0});  // tall points in the neighboring cells
+  }
+  const Detections dets = detectByClustering(cloud);
+  EXPECT_TRUE(dets.empty());
+}
+
+TEST(SimulatedDetector, DetectsVisibleCarsWithProvenance) {
+  Rng rng(6);
+  ScenarioConfig sc;
+  sc.movingVehicles = 6;
+  sc.parkedVehicles = 6;
+  const World w = makeScenario(sc, rng);
+  DetectorProfile prof = DetectorProfile::coBEVT();
+  prof.falsePositivesPerFrame = 0.0;
+  Rng detRng(7);
+  const Detections dets = simulateDetections(w, w.egoVehicleId,
+                                             LidarConfig{}, 0.0, prof,
+                                             detRng);
+  ASSERT_FALSE(dets.empty());
+  const Pose2 ego = w.vehicleById(0).trajectory.pose(0.0);
+  for (const auto& d : dets) {
+    ASSERT_GE(d.truthId, 1);  // real vehicles only (no FPs configured)
+    // Detection should be near the true vehicle, in the ego frame.
+    const Pose2 vp = w.vehicleById(d.truthId).trajectory.pose(0.0);
+    const Vec2 rel = (vp.t - ego.t).rotated(-ego.theta);
+    EXPECT_LT((d.box.center.xy() - rel).norm(), 2.5)
+        << "vehicle " << d.truthId;
+    EXPECT_GT(d.score, 0.0f);
+  }
+}
+
+TEST(SimulatedDetector, RangeLimitsRecall) {
+  Rng rng(8);
+  ScenarioConfig sc;
+  sc.separation = 150.0;  // other car far outside detection range
+  sc.movingVehicles = 0;
+  sc.parkedVehicles = 0;
+  const World w = makeScenario(sc, rng);
+  DetectorProfile prof;
+  prof.maxRange = 50.0;
+  prof.falsePositivesPerFrame = 0.0;
+  Rng detRng(9);
+  const Detections dets =
+      simulateDetections(w, 0, LidarConfig{}, 0.0, prof, detRng);
+  for (const auto& d : dets) EXPECT_NE(d.truthId, 1);
+}
+
+TEST(SimulatedDetector, FCooperNoisierThanCoBEVT) {
+  // Statistically: F-Cooper profile has larger center noise.
+  Rng rng(10);
+  ScenarioConfig sc;
+  const World w = makeScenario(sc, rng);
+  const Pose2 ego = w.vehicleById(0).trajectory.pose(0.0);
+  double errCo = 0, errFc = 0;
+  int nCo = 0, nFc = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng r1(100 + trial), r2(100 + trial);
+    for (const auto& [prof, err, count] :
+         {std::tuple{DetectorProfile::coBEVT(), &errCo, &nCo},
+          std::tuple{DetectorProfile::fCooper(), &errFc, &nFc}}) {
+      Rng& rr = prof.name == "coBEVT" ? r1 : r2;
+      const Detections dets =
+          simulateDetections(w, 0, LidarConfig{}, 0.0, prof, rr);
+      for (const auto& d : dets) {
+        if (d.truthId < 0) continue;
+        const Pose2 vp = w.vehicleById(d.truthId).trajectory.pose(0.0);
+        const Vec2 rel = (vp.t - ego.t).rotated(-ego.theta);
+        *err += (d.box.center.xy() - rel).norm();
+        ++*count;
+      }
+    }
+  }
+  ASSERT_GT(nCo, 20);
+  ASSERT_GT(nFc, 20);
+  EXPECT_LT(errCo / nCo, errFc / nFc);
+}
+
+TEST(Detections, ProjectBVAndCommonCars) {
+  Detection a, b, c;
+  a.truthId = 5;
+  b.truthId = 7;
+  c.truthId = -1;
+  a.box.yaw = 0.4;
+  EXPECT_EQ(countCommonCars({a, b, c}, {b}), 1);
+  EXPECT_EQ(countCommonCars({a, b}, {a, b}), 2);
+  EXPECT_EQ(countCommonCars({c}, {c}), 0);  // false positives never match
+  const auto bv = projectBV({a});
+  ASSERT_EQ(bv.size(), 1u);
+  EXPECT_DOUBLE_EQ(bv[0].yaw, 0.4);
+}
+
+}  // namespace
+}  // namespace bba

@@ -1,0 +1,231 @@
+// lidar module: ray-primitive intersections, scene raycasting, sweep
+// simulation including self-motion distortion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "lidar/raycast.hpp"
+#include "lidar/scanner.hpp"
+#include "spatial/kdtree.hpp"
+#include "sim/scenario.hpp"
+
+namespace bba {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RayPrism, AxisAlignedAnalytic) {
+  OrientedBox2 fp;
+  fp.center = {10, 0};
+  fp.halfExtent = {1, 2};
+  // Ray along +x from origin at z = 1 hits the near face at x = 9.
+  const double t =
+      rayPrism({0, 0, 1}, {1, 0, 0}, fp, 0.0, 3.0);
+  EXPECT_NEAR(t, 9.0, 1e-12);
+  // Above the prism: miss.
+  EXPECT_EQ(rayPrism({0, 0, 5}, {1, 0, 0}, fp, 0.0, 3.0), kInf);
+  // From inside: no return.
+  EXPECT_EQ(rayPrism({10, 0, 1}, {1, 0, 0}, fp, 0.0, 3.0), kInf);
+}
+
+TEST(RayPrism, RotatedBox) {
+  OrientedBox2 fp;
+  fp.center = {10, 0};
+  fp.halfExtent = {2, 1};
+  fp.yaw = M_PI / 2.0;  // now 1 wide in x, 2 in y
+  const double t = rayPrism({0, 0, 1}, {1, 0, 0}, fp, 0.0, 3.0);
+  EXPECT_NEAR(t, 9.0, 1e-12);
+}
+
+TEST(RayCylinder, AnalyticHit) {
+  const double t =
+      rayCylinder({0, 0, 1}, {1, 0, 0}, Vec2{5, 0}, 0.5, 0.0, 3.0);
+  EXPECT_NEAR(t, 4.5, 1e-12);
+  // Out of z range: miss.
+  EXPECT_EQ(rayCylinder({0, 0, 5}, {1, 0, 0}, Vec2{5, 0}, 0.5, 0.0, 3.0),
+            kInf);
+  // Tangent-ish miss.
+  EXPECT_EQ(rayCylinder({0, 1.0, 1}, {1, 0, 0}, Vec2{5, 0}, 0.5, 0.0, 3.0),
+            kInf);
+}
+
+TEST(RaySphere, AnalyticHit) {
+  EXPECT_NEAR(raySphere({0, 0, 0}, {1, 0, 0}, Vec3{4, 0, 0}, 1.0), 3.0,
+              1e-12);
+  EXPECT_EQ(raySphere({0, 0, 0}, {1, 0, 0}, Vec3{4, 3, 0}, 1.0), kInf);
+  // From inside the sphere: exit hit.
+  EXPECT_NEAR(raySphere({4, 0, 0}, {1, 0, 0}, Vec3{4, 0, 0}, 1.0), 1.0,
+              1e-12);
+}
+
+TEST(Raycaster, GroundAndNearestWins) {
+  World w;
+  Building b;
+  b.footprint.center = {20, 0};
+  b.footprint.halfExtent = {1, 5};
+  b.height = 10;
+  w.buildings.push_back(b);
+
+  const Raycaster rc(w);
+  // Horizontal ray at z=2 hits the building at x=19.
+  const RayHit hit = rc.cast({0, 0, 2}, {1, 0, 0}, 100.0, 0.0, -1);
+  EXPECT_EQ(hit.kind, HitKind::Building);
+  EXPECT_NEAR(hit.distance, 19.0, 1e-12);
+
+  // Downward-slanted ray from 2 m hits the ground before the building.
+  const Vec3 dir = Vec3{1, 0, -0.5}.normalized();
+  const RayHit g = rc.cast({0, 0, 2}, dir, 100.0, 0.0, -1);
+  EXPECT_EQ(g.kind, HitKind::Ground);
+
+  // Out of range: nothing.
+  const RayHit none = rc.cast({0, 0, 2}, {1, 0, 0}, 10.0, 0.0, -1);
+  EXPECT_FALSE(none.valid());
+}
+
+TEST(Raycaster, VehicleHitAndExclusion) {
+  World w;
+  SimVehicle v;
+  v.id = 7;
+  v.size = {4, 2, 1.5};
+  v.trajectory = Trajectory::stationary(Pose2{Vec2{10, 0}, 0.0});
+  w.vehicles.push_back(v);
+
+  const Raycaster rc(w);
+  const RayHit hit = rc.cast({0, 0, 1}, {1, 0, 0}, 100.0, 0.0, -1);
+  EXPECT_EQ(hit.kind, HitKind::Vehicle);
+  EXPECT_EQ(hit.vehicleId, 7);
+  EXPECT_NEAR(hit.distance, 8.0, 1e-12);
+
+  const RayHit excluded = rc.cast({0, 0, 1}, {1, 0, 0}, 100.0, 0.0, 7);
+  EXPECT_FALSE(excluded.valid());
+}
+
+TEST(Raycaster, MovingVehicleQueriedAtRayTime) {
+  World w;
+  SimVehicle v;
+  v.id = 3;
+  v.size = {4, 2, 1.5};
+  v.trajectory = Trajectory::straight(Pose2{Vec2{10, 0}, 0.0}, 10.0);
+  w.vehicles.push_back(v);
+  const Raycaster rc(w);
+  const RayHit at0 = rc.cast({0, 0, 1}, {1, 0, 0}, 100.0, 0.0, -1);
+  const RayHit at1 = rc.cast({0, 0, 1}, {1, 0, 0}, 100.0, 1.0, -1);
+  EXPECT_NEAR(at1.distance - at0.distance, 10.0, 1e-9);
+}
+
+TEST(Raycaster, CulledMatchesFullWithinFocus) {
+  Rng rng(6);
+  const World w = makeScenario(ScenarioConfig{}, rng);
+  const Raycaster full(w);
+  const Raycaster culled(w, Vec2{0, 0}, 105.0);
+  Rng dirRng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double az = dirRng.angle();
+    const double el = dirRng.uniform(-0.4, 0.1);
+    const Vec3 dir{std::cos(el) * std::cos(az), std::cos(el) * std::sin(az),
+                   std::sin(el)};
+    const RayHit a = full.cast({0, 0, 1.9}, dir, 100.0, 0.0, 0);
+    const RayHit b = culled.cast({0, 0, 1.9}, dir, 100.0, 0.0, 0);
+    ASSERT_EQ(a.kind, b.kind);
+    if (a.valid()) {
+      ASSERT_NEAR(a.distance, b.distance, 1e-12);
+    }
+  }
+}
+
+TEST(Scanner, ProducesPlausibleSweep) {
+  Rng rng(7);
+  const World w = makeScenario(ScenarioConfig{}, rng);
+  LidarConfig cfg;
+  cfg.rangeNoiseSigma = 0.0;
+  Rng scanRng(8);
+  const PointCloud cloud = scanVehicle(w, 0, cfg, 0.0, scanRng);
+  EXPECT_GT(cloud.size(), 5000u);
+  for (const auto& lp : cloud.points) {
+    // Time stamps within the sweep, ranges within sensor range.
+    ASSERT_GE(lp.time, -static_cast<float>(cfg.sweepDuration) - 1e-6f);
+    ASSERT_LE(lp.time, 0.0f);
+    ASSERT_LT(lp.p.norm(), cfg.maxRange + 5.0);
+  }
+}
+
+TEST(Scanner, DistortionMovesPointsOfStaticWorld) {
+  Rng rng(10);
+  ScenarioConfig sc;
+  sc.movingVehicles = 0;
+  World w = makeScenario(sc, rng);
+  for (auto& v : w.vehicles) {
+    if (v.id != 0) v.trajectory = Trajectory::stationary(v.trajectory.pose(0));
+  }
+  LidarConfig cfg;
+  cfg.rangeNoiseSigma = 0.0;
+  Rng r1(1), r2(1);
+  const PointCloud distorted =
+      scanVehicle(w, 0, cfg, 0.0, r1, {.motionDistortion = true});
+  const PointCloud clean =
+      scanVehicle(w, 0, cfg, 0.0, r2, {.motionDistortion = false});
+  ASSERT_GT(distorted.size(), 1000u);
+  ASSERT_GT(clean.size(), 1000u);
+
+  // Deskewing the distorted sweep with the ego twist must shrink the
+  // discrepancy to the clean sweep dramatically (the stage-2 motivation).
+  const auto& traj = w.vehicleById(0).trajectory;
+  const PointCloud fixed = deskewed(distorted, traj.speed(), traj.yawRate());
+
+  // Exact planar nearest-neighbour distances via a k-d tree (deskewing
+  // only corrects x/y).
+  std::vector<KdTree2::Point> arr;
+  for (const auto& lp : clean.points) {
+    if (lp.p.z > 0.3) arr.push_back({lp.p.x, lp.p.y});
+  }
+  const KdTree2 tree(std::move(arr));
+  const auto meanNN = [&](const PointCloud& c) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& lp : c.points) {
+      if (lp.p.z <= 0.3) continue;
+      sum += std::sqrt(tree.nearest({lp.p.x, lp.p.y}).squaredDistance);
+      ++n;
+    }
+    return n ? sum / n : 0.0;
+  };
+  const double dDist = meanNN(distorted);
+  const double dFixed = meanNN(fixed);
+  EXPECT_LT(dFixed, dDist * 0.5);
+}
+
+TEST(Scanner, StationaryVehicleHasNoDistortion) {
+  Rng rng(11);
+  ScenarioConfig sc;
+  sc.egoSpeed = 0.0;
+  sc.movingVehicles = 0;
+  World w = makeScenario(sc, rng);
+  for (auto& v : w.vehicles) {
+    v.trajectory = Trajectory::stationary(v.trajectory.pose(0));
+  }
+  LidarConfig cfg;
+  cfg.rangeNoiseSigma = 0.0;
+  Rng r1(2), r2(2);
+  const PointCloud a =
+      scanVehicle(w, 0, cfg, 0.0, r1, {.motionDistortion = true});
+  const PointCloud b =
+      scanVehicle(w, 0, cfg, 0.0, r2, {.motionDistortion = false});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR((a.points[i].p - b.points[i].p).norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(LidarConfig, PresetsAreHeterogeneous) {
+  const LidarConfig a = LidarConfig::vlp16();
+  const LidarConfig b = LidarConfig::hdl32();
+  const LidarConfig c = LidarConfig::hdl64();
+  EXPECT_LT(a.channels, b.channels);
+  EXPECT_LT(b.channels, c.channels);
+  EXPECT_NE(a.verticalFovDownDeg, b.verticalFovDownDeg);
+}
+
+}  // namespace
+}  // namespace bba

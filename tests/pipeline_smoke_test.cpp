@@ -1,0 +1,37 @@
+// End-to-end smoke test: the full simulated-world -> scan -> detect ->
+// BB-Align pipeline recovers the ground-truth relative pose.
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "dataset/generator.hpp"
+
+namespace bba {
+namespace {
+
+TEST(PipelineSmoke, RecoversPoseOnMidRangePair) {
+  DatasetConfig cfg;
+  cfg.seed = 1234;
+  cfg.minSeparation = 30.0;
+  cfg.maxSeparation = 50.0;
+  DatasetGenerator gen(cfg);
+  const auto pair = gen.generatePair(0);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_GE(pair->commonCars, 2);
+  EXPECT_GT(pair->egoCloud.size(), 1000u);
+  EXPECT_GT(pair->otherCloud.size(), 1000u);
+
+  BBAlign aligner;
+  Rng rng(7);
+  const PairEvaluation ev = evaluatePair(aligner, *pair, rng);
+
+  EXPECT_TRUE(ev.recovery.stage1Ok);
+  EXPECT_LT(ev.error.translation, 2.0)
+      << "stage1=" << ev.errorStage1.translation
+      << " inliersBv=" << ev.recovery.inliersBv
+      << " inliersBox=" << ev.recovery.inliersBox
+      << " matches=" << ev.recovery.keypointMatches;
+  EXPECT_LT(ev.error.rotationDeg, 3.0);
+}
+
+}  // namespace
+}  // namespace bba

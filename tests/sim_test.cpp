@@ -1,0 +1,146 @@
+// sim module: trajectories, scenario generation, world ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace bba {
+namespace {
+
+TEST(Trajectory, StationaryNeverMoves) {
+  const Trajectory t = Trajectory::stationary(Pose2{Vec2{3, 4}, 1.0});
+  for (double tt : {-5.0, 0.0, 7.0}) {
+    const Pose2 p = t.pose(tt);
+    EXPECT_DOUBLE_EQ(p.t.x, 3.0);
+    EXPECT_DOUBLE_EQ(p.t.y, 4.0);
+    EXPECT_DOUBLE_EQ(p.theta, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(t.velocity(0.0).norm(), 0.0);
+}
+
+TEST(Trajectory, StraightIntegratesLinearly) {
+  const Trajectory t =
+      Trajectory::straight(Pose2{Vec2{0, 0}, M_PI / 4.0}, 10.0);
+  const Pose2 p = t.pose(2.0);
+  EXPECT_NEAR(p.t.x, 20.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(p.t.y, 20.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(p.theta, M_PI / 4.0, 1e-12);
+  // Works backwards in time too (needed by sweep simulation).
+  const Pose2 back = t.pose(-1.0);
+  EXPECT_NEAR(back.t.norm(), 10.0, 1e-9);
+}
+
+TEST(Trajectory, ArcMatchesNumericalIntegration) {
+  const double v = 8.0, w = 0.3;
+  const Trajectory t = Trajectory::arc(Pose2{Vec2{2, -1}, 0.7}, v, w);
+  // Integrate the twist numerically.
+  Vec2 p{2, -1};
+  double theta = 0.7;
+  const double dt = 1e-5;
+  for (double tt = 0.0; tt < 1.5; tt += dt) {
+    p += Vec2{std::cos(theta), std::sin(theta)} * (v * dt);
+    theta += w * dt;
+  }
+  const Pose2 analytic = t.pose(1.5);
+  EXPECT_NEAR(analytic.t.x, p.x, 1e-3);
+  EXPECT_NEAR(analytic.t.y, p.y, 1e-3);
+  EXPECT_NEAR(analytic.theta, wrapAngle(theta), 1e-4);
+}
+
+TEST(Trajectory, ArcDegeneratesToStraight) {
+  const Trajectory a = Trajectory::arc(Pose2{Vec2{}, 0.0}, 5.0, 0.0);
+  EXPECT_NEAR(a.pose(2.0).t.x, 10.0, 1e-9);
+}
+
+TEST(Scenario, ContainsExpectedContent) {
+  Rng rng(1);
+  ScenarioConfig cfg;
+  const World w = makeScenario(cfg, rng);
+  EXPECT_EQ(w.egoVehicleId, 0);
+  EXPECT_EQ(w.otherVehicleId, 1);
+  EXPECT_GE(static_cast<int>(w.vehicles.size()),
+            2 + cfg.parkedVehicles + cfg.movingVehicles);
+  EXPECT_GT(w.buildings.size(), 10u);
+  EXPECT_GT(w.trees.size(), 30u);  // trees + poles + bushes
+
+  // Separation at t = 0 matches the config.
+  const Pose2 rel = w.relativePoseOtherToEgo(0.0);
+  EXPECT_NEAR(rel.t.norm(), cfg.separation, cfg.separation * 0.15 + 4.0);
+}
+
+TEST(Scenario, OppositeDirectionFlipsRelativeYaw) {
+  Rng rng(2);
+  ScenarioConfig cfg;
+  cfg.oppositeDirection = true;
+  cfg.otherHeadingJitterDeg = 0.0;
+  const World w = makeScenario(cfg, rng);
+  const Pose2 rel = w.relativePoseOtherToEgo(0.0);
+  EXPECT_NEAR(std::abs(rel.theta), M_PI, 0.02);
+}
+
+TEST(Scenario, OpenAreaRemovesLandmarks) {
+  Rng rngA(3), rngB(3);
+  ScenarioConfig dense;
+  ScenarioConfig open = dense;
+  open.openAreaFraction = 0.95;
+  const World wd = makeScenario(dense, rngA);
+  const World wo = makeScenario(open, rngB);
+  EXPECT_LT(wo.buildings.size(), wd.buildings.size() / 3 + 1);
+  EXPECT_LT(wo.trees.size(), wd.trees.size() / 3 + 1);
+}
+
+TEST(Scenario, CurvedRoadBendsHeadings) {
+  Rng rng(4);
+  ScenarioConfig cfg;
+  cfg.roadCurvature = 0.008;
+  cfg.separation = 60.0;
+  cfg.otherHeadingJitterDeg = 0.0;
+  const World w = makeScenario(cfg, rng);
+  const Pose2 rel = w.relativePoseOtherToEgo(0.0);
+  // Heading difference ~ separation * curvature = 0.48 rad.
+  EXPECT_NEAR(std::abs(rel.theta), 60.0 * 0.008, 0.1);
+}
+
+TEST(World, VehicleByIdThrowsOnUnknown) {
+  World w;
+  EXPECT_THROW((void)w.vehicleById(42), ComputationError);
+}
+
+TEST(World, RelativePoseIsConsistent) {
+  Rng rng(5);
+  const World w = makeScenario(ScenarioConfig{}, rng);
+  const double t = 0.4;
+  const Pose2 rel = w.relativePoseOtherToEgo(t);
+  const Pose2 ego = w.vehicleById(0).trajectory.pose(t);
+  const Pose2 other = w.vehicleById(1).trajectory.pose(t);
+  // ego ∘ rel == other
+  const Pose2 recomposed = ego.compose(rel);
+  EXPECT_NEAR((recomposed.t - other.t).norm(), 0.0, 1e-9);
+  EXPECT_NEAR(angularDistance(recomposed.theta, other.theta), 0.0, 1e-12);
+}
+
+TEST(SimVehicle, BoxFollowsTrajectory) {
+  SimVehicle v;
+  v.size = {4.0, 2.0, 1.5};
+  v.trajectory = Trajectory::straight(Pose2{Vec2{0, 0}, 0.0}, 10.0);
+  const Box3 b = v.boxAt(1.0);
+  EXPECT_NEAR(b.center.x, 10.0, 1e-9);
+  EXPECT_NEAR(b.center.z, 0.75, 1e-12);
+}
+
+TEST(Tree, DegenerateFactories) {
+  const Tree pole = Tree::pole({1, 2}, 5.0);
+  EXPECT_DOUBLE_EQ(pole.crownRadius, 0.0);
+  EXPECT_DOUBLE_EQ(pole.trunkHeight, 5.0);
+  const Tree bush = Tree::bush({3, 4}, 1.0);
+  EXPECT_DOUBLE_EQ(bush.trunkRadius, 0.0);
+  EXPECT_DOUBLE_EQ(bush.crownRadius, 1.0);
+}
+
+}  // namespace
+}  // namespace bba
