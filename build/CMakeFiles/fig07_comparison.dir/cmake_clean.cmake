@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_comparison.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig07_comparison.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig07_comparison.dir/bench/fig07_comparison.cpp.o"
+  "CMakeFiles/fig07_comparison.dir/bench/fig07_comparison.cpp.o.d"
+  "bench/fig07_comparison"
+  "bench/fig07_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_common_cars.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig08_common_cars.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig08_common_cars.dir/bench/fig08_common_cars.cpp.o"
+  "CMakeFiles/fig08_common_cars.dir/bench/fig08_common_cars.cpp.o.d"
+  "bench/fig08_common_cars"
+  "bench/fig08_common_cars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_common_cars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_inliers.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig09_inliers.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig09_inliers.dir/bench/fig09_inliers.cpp.o"
+  "CMakeFiles/fig09_inliers.dir/bench/fig09_inliers.cpp.o.d"
+  "bench/fig09_inliers"
+  "bench/fig09_inliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_inliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

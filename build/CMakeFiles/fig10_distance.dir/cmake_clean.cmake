@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_distance.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig10_distance.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig10_distance.dir/bench/fig10_distance.cpp.o"
+  "CMakeFiles/fig10_distance.dir/bench/fig10_distance.cpp.o.d"
+  "bench/fig10_distance"
+  "bench/fig10_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stage1_distance.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig11_stage1_distance.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig11_stage1_distance.dir/bench/fig11_stage1_distance.cpp.o"
+  "CMakeFiles/fig11_stage1_distance.dir/bench/fig11_stage1_distance.cpp.o.d"
+  "bench/fig11_stage1_distance"
+  "bench/fig11_stage1_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stage1_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

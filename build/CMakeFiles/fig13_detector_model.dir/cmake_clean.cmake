@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_detector_model.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig13_detector_model.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig13_detector_model.dir/bench/fig13_detector_model.cpp.o"
+  "CMakeFiles/fig13_detector_model.dir/bench/fig13_detector_model.cpp.o.d"
+  "bench/fig13_detector_model"
+  "bench/fig13_detector_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_detector_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ablation.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/fig14_ablation.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/fig14_ablation.dir/bench/fig14_ablation.cpp.o"
+  "CMakeFiles/fig14_ablation.dir/bench/fig14_ablation.cpp.o.d"
+  "bench/fig14_ablation"
+  "bench/fig14_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_detection_ap.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/table1_detection_ap.dir/bench/bench_common.cpp.o.d"
+  "CMakeFiles/table1_detection_ap.dir/bench/table1_detection_ap.cpp.o"
+  "CMakeFiles/table1_detection_ap.dir/bench/table1_detection_ap.cpp.o.d"
+  "bench/table1_detection_ap"
+  "bench/table1_detection_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_detection_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

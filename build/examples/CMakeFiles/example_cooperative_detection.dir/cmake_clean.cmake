@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cooperative_detection.dir/cooperative_detection.cpp.o"
+  "CMakeFiles/example_cooperative_detection.dir/cooperative_detection.cpp.o.d"
+  "example_cooperative_detection"
+  "example_cooperative_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cooperative_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

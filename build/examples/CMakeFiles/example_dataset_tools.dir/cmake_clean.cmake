@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dataset_tools.dir/dataset_tools.cpp.o"
+  "CMakeFiles/example_dataset_tools.dir/dataset_tools.cpp.o.d"
+  "example_dataset_tools"
+  "example_dataset_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dataset_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_lidar.dir/heterogeneous_lidar.cpp.o"
+  "CMakeFiles/example_heterogeneous_lidar.dir/heterogeneous_lidar.cpp.o.d"
+  "example_heterogeneous_lidar"
+  "example_heterogeneous_lidar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_lidar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

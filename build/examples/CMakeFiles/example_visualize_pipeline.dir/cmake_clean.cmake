@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_visualize_pipeline.dir/visualize_pipeline.cpp.o"
+  "CMakeFiles/example_visualize_pipeline.dir/visualize_pipeline.cpp.o.d"
+  "example_visualize_pipeline"
+  "example_visualize_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_visualize_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/icp.cpp" "src/CMakeFiles/bba.dir/baselines/icp.cpp.o" "gcc" "src/CMakeFiles/bba.dir/baselines/icp.cpp.o.d"
+  "/root/repo/src/baselines/vips.cpp" "src/CMakeFiles/bba.dir/baselines/vips.cpp.o" "gcc" "src/CMakeFiles/bba.dir/baselines/vips.cpp.o.d"
+  "/root/repo/src/bev/bev_image.cpp" "src/CMakeFiles/bba.dir/bev/bev_image.cpp.o" "gcc" "src/CMakeFiles/bba.dir/bev/bev_image.cpp.o.d"
+  "/root/repo/src/common/pgm.cpp" "src/CMakeFiles/bba.dir/common/pgm.cpp.o" "gcc" "src/CMakeFiles/bba.dir/common/pgm.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/bba.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/bba.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/bba.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/bba.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/bba.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/bba.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/bb_align.cpp" "src/CMakeFiles/bba.dir/core/bb_align.cpp.o" "gcc" "src/CMakeFiles/bba.dir/core/bb_align.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/bba.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/bba.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "src/CMakeFiles/bba.dir/dataset/generator.cpp.o" "gcc" "src/CMakeFiles/bba.dir/dataset/generator.cpp.o.d"
+  "/root/repo/src/dataset/serialize.cpp" "src/CMakeFiles/bba.dir/dataset/serialize.cpp.o" "gcc" "src/CMakeFiles/bba.dir/dataset/serialize.cpp.o.d"
+  "/root/repo/src/detect/cluster_detector.cpp" "src/CMakeFiles/bba.dir/detect/cluster_detector.cpp.o" "gcc" "src/CMakeFiles/bba.dir/detect/cluster_detector.cpp.o.d"
+  "/root/repo/src/detect/simulated_detector.cpp" "src/CMakeFiles/bba.dir/detect/simulated_detector.cpp.o" "gcc" "src/CMakeFiles/bba.dir/detect/simulated_detector.cpp.o.d"
+  "/root/repo/src/features/descriptor.cpp" "src/CMakeFiles/bba.dir/features/descriptor.cpp.o" "gcc" "src/CMakeFiles/bba.dir/features/descriptor.cpp.o.d"
+  "/root/repo/src/features/fast.cpp" "src/CMakeFiles/bba.dir/features/fast.cpp.o" "gcc" "src/CMakeFiles/bba.dir/features/fast.cpp.o.d"
+  "/root/repo/src/features/mim.cpp" "src/CMakeFiles/bba.dir/features/mim.cpp.o" "gcc" "src/CMakeFiles/bba.dir/features/mim.cpp.o.d"
+  "/root/repo/src/fusion/ap.cpp" "src/CMakeFiles/bba.dir/fusion/ap.cpp.o" "gcc" "src/CMakeFiles/bba.dir/fusion/ap.cpp.o.d"
+  "/root/repo/src/fusion/fusion.cpp" "src/CMakeFiles/bba.dir/fusion/fusion.cpp.o" "gcc" "src/CMakeFiles/bba.dir/fusion/fusion.cpp.o.d"
+  "/root/repo/src/fusion/nms.cpp" "src/CMakeFiles/bba.dir/fusion/nms.cpp.o" "gcc" "src/CMakeFiles/bba.dir/fusion/nms.cpp.o.d"
+  "/root/repo/src/geom/iou.cpp" "src/CMakeFiles/bba.dir/geom/iou.cpp.o" "gcc" "src/CMakeFiles/bba.dir/geom/iou.cpp.o.d"
+  "/root/repo/src/geom/kabsch.cpp" "src/CMakeFiles/bba.dir/geom/kabsch.cpp.o" "gcc" "src/CMakeFiles/bba.dir/geom/kabsch.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/CMakeFiles/bba.dir/geom/polygon.cpp.o" "gcc" "src/CMakeFiles/bba.dir/geom/polygon.cpp.o.d"
+  "/root/repo/src/lidar/raycast.cpp" "src/CMakeFiles/bba.dir/lidar/raycast.cpp.o" "gcc" "src/CMakeFiles/bba.dir/lidar/raycast.cpp.o.d"
+  "/root/repo/src/lidar/scanner.cpp" "src/CMakeFiles/bba.dir/lidar/scanner.cpp.o" "gcc" "src/CMakeFiles/bba.dir/lidar/scanner.cpp.o.d"
+  "/root/repo/src/match/matcher.cpp" "src/CMakeFiles/bba.dir/match/matcher.cpp.o" "gcc" "src/CMakeFiles/bba.dir/match/matcher.cpp.o.d"
+  "/root/repo/src/match/ransac.cpp" "src/CMakeFiles/bba.dir/match/ransac.cpp.o" "gcc" "src/CMakeFiles/bba.dir/match/ransac.cpp.o.d"
+  "/root/repo/src/pointcloud/point_cloud.cpp" "src/CMakeFiles/bba.dir/pointcloud/point_cloud.cpp.o" "gcc" "src/CMakeFiles/bba.dir/pointcloud/point_cloud.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/CMakeFiles/bba.dir/signal/fft.cpp.o" "gcc" "src/CMakeFiles/bba.dir/signal/fft.cpp.o.d"
+  "/root/repo/src/signal/log_gabor.cpp" "src/CMakeFiles/bba.dir/signal/log_gabor.cpp.o" "gcc" "src/CMakeFiles/bba.dir/signal/log_gabor.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/bba.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/bba.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/CMakeFiles/bba.dir/sim/trajectory.cpp.o" "gcc" "src/CMakeFiles/bba.dir/sim/trajectory.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/bba.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/bba.dir/sim/world.cpp.o.d"
+  "/root/repo/src/spatial/kdtree.cpp" "src/CMakeFiles/bba.dir/spatial/kdtree.cpp.o" "gcc" "src/CMakeFiles/bba.dir/spatial/kdtree.cpp.o.d"
+  "/root/repo/src/spatial/voxel.cpp" "src/CMakeFiles/bba.dir/spatial/voxel.cpp.o" "gcc" "src/CMakeFiles/bba.dir/spatial/voxel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bev_test.dir/bev_test.cpp.o"
+  "CMakeFiles/bev_test.dir/bev_test.cpp.o.d"
+  "bev_test"
+  "bev_test.pdb"
+  "bev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

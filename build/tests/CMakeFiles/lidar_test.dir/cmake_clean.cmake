@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lidar_test.dir/lidar_test.cpp.o"
+  "CMakeFiles/lidar_test.dir/lidar_test.cpp.o.d"
+  "lidar_test"
+  "lidar_test.pdb"
+  "lidar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lidar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obb_pairing_test.dir/obb_pairing_test.cpp.o"
+  "CMakeFiles/obb_pairing_test.dir/obb_pairing_test.cpp.o.d"
+  "obb_pairing_test"
+  "obb_pairing_test.pdb"
+  "obb_pairing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obb_pairing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for obb_pairing_test.
+# This may be replaced when dependencies are built.

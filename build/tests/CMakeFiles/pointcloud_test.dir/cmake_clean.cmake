@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointcloud_test.dir/pointcloud_test.cpp.o"
+  "CMakeFiles/pointcloud_test.dir/pointcloud_test.cpp.o.d"
+  "pointcloud_test"
+  "pointcloud_test.pdb"
+  "pointcloud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointcloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

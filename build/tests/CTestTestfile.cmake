@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/bev_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lidar_test[1]_include.cmake")
+include("/root/repo/build/tests/match_test[1]_include.cmake")
+include("/root/repo/build/tests/obb_pairing_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_fidelity_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/pointcloud_test[1]_include.cmake")
+include("/root/repo/build/tests/signal_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")

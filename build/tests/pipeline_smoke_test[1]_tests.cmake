@@ -1,0 +1,3 @@
+add_test([=[PipelineSmoke.RecoversPoseOnMidRangePair]=]  /root/repo/build/tests/pipeline_smoke_test [==[--gtest_filter=PipelineSmoke.RecoversPoseOnMidRangePair]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineSmoke.RecoversPoseOnMidRangePair]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  pipeline_smoke_test_TESTS PipelineSmoke.RecoversPoseOnMidRangePair)
