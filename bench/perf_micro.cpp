@@ -1,9 +1,18 @@
 // Runtime microbenchmarks (google-benchmark): the cost of each BB-Align
 // stage. The paper's future work targets BV-matching time efficiency; this
 // bench quantifies where the time goes.
+//
+// Every stage benchmark takes a `threads` argument: /1 is the serial
+// baseline (ThreadLimit(1), fully inline execution), /N exercises the
+// work-sharing pool of common/parallel.hpp. bench/run_perf.sh distills the
+// JSON output of this binary into BENCH_PR<k>.json at the repo root.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "bev/bev_image.hpp"
+#include "common/parallel.hpp"
 #include "core/bb_align.hpp"
 #include "dataset/generator.hpp"
 #include "features/mim.hpp"
@@ -11,6 +20,17 @@
 
 namespace bba {
 namespace {
+
+/// Thread count for the "threaded" variant: all hardware threads, but at
+/// least 4 so the pool is exercised even on small CI hosts.
+int threadedArg() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(4, static_cast<int>(hw));
+}
+
+void threadArgs(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads")->Arg(1)->Arg(threadedArg());
+}
 
 const FramePair& fixturePair() {
   static const FramePair pair = [] {
@@ -29,6 +49,7 @@ const BBAlign& fixtureAligner() {
 }
 
 void BM_Fft2d256(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(0)));
   ComplexImage img(256, 256);
   for (int i = 0; i < 256 * 256; ++i)
     img.data()[static_cast<std::size_t>(i)] =
@@ -39,18 +60,20 @@ void BM_Fft2d256(benchmark::State& state) {
     benchmark::DoNotOptimize(img.data());
   }
 }
-BENCHMARK(BM_Fft2d256);
+BENCHMARK(BM_Fft2d256)->Apply(threadArgs);
 
 void BM_BvImage(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(0)));
   const FramePair& pair = fixturePair();
   const BevParams bev;
   for (auto _ : state) {
     benchmark::DoNotOptimize(makeHeightBV(pair.egoCloud, bev));
   }
 }
-BENCHMARK(BM_BvImage);
+BENCHMARK(BM_BvImage)->Apply(threadArgs);
 
 void BM_MimComputation(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(0)));
   const FramePair& pair = fixturePair();
   const BevParams bev;
   const ImageF bv = makeHeightBV(pair.egoCloud, bev);
@@ -59,9 +82,10 @@ void BM_MimComputation(benchmark::State& state) {
     benchmark::DoNotOptimize(computeMim(bv, bank));
   }
 }
-BENCHMARK(BM_MimComputation);
+BENCHMARK(BM_MimComputation)->Apply(threadArgs);
 
 void BM_DescribeBvImage(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(0)));
   const FramePair& pair = fixturePair();
   const BBAlign& aligner = fixtureAligner();
   const CarPerceptionData data =
@@ -70,9 +94,10 @@ void BM_DescribeBvImage(benchmark::State& state) {
     benchmark::DoNotOptimize(aligner.describe(data.bvImage));
   }
 }
-BENCHMARK(BM_DescribeBvImage);
+BENCHMARK(BM_DescribeBvImage)->Apply(threadArgs);
 
-void BM_EndToEndRecover(benchmark::State& state) {
+void BM_RecoverPose(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(0)));
   const FramePair& pair = fixturePair();
   const BBAlign& aligner = fixtureAligner();
   const CarPerceptionData ego =
@@ -84,9 +109,10 @@ void BM_EndToEndRecover(benchmark::State& state) {
     benchmark::DoNotOptimize(aligner.recover(other, ego, rng));
   }
 }
-BENCHMARK(BM_EndToEndRecover);
+BENCHMARK(BM_RecoverPose)->Apply(threadArgs);
 
 void BM_RansacRigid2D(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(0)));
   Rng rng(5);
   const Pose2 truth{Vec2{3.0, -2.0}, 0.3};
   std::vector<Vec2> src, dst;
@@ -105,7 +131,7 @@ void BM_RansacRigid2D(benchmark::State& state) {
     benchmark::DoNotOptimize(ransacRigid2D(src, dst, prm, rng));
   }
 }
-BENCHMARK(BM_RansacRigid2D);
+BENCHMARK(BM_RansacRigid2D)->Apply(threadArgs);
 
 }  // namespace
 }  // namespace bba

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the perf_micro google-benchmark suite and distill its JSON output
+# into a compact per-stage trajectory file at the repo root.
+#
+# Usage: bench/run_perf.sh [build_dir] [out_json]
+#   build_dir  CMake build tree containing bench/perf_micro (default: build)
+#   out_json   distilled output path (default: BENCH_PR1.json)
+#
+# The raw google-benchmark JSON lands in BENCH_raw_PR1.json (gitignored);
+# the distilled file maps stage -> {serial_ns, threaded_ns, speedup} so
+# future PRs can track the perf trajectory without parsing benchmark
+# internals.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_PR1.json}"
+RAW_JSON="$REPO_ROOT/BENCH_raw_PR1.json"
+
+BENCH_BIN="$BUILD_DIR/bench/perf_micro"
+if [[ ! -x "$BENCH_BIN" ]]; then
+  echo "error: $BENCH_BIN not found — build the perf_micro target first" >&2
+  echo "  cmake -B '$BUILD_DIR' -S '$REPO_ROOT' && cmake --build '$BUILD_DIR' --target perf_micro" >&2
+  exit 1
+fi
+
+"$BENCH_BIN" \
+  --benchmark_format=json \
+  --benchmark_out="$RAW_JSON" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+python3 "$REPO_ROOT/tools/distill_bench.py" "$RAW_JSON" "$OUT_JSON"
+echo "wrote $OUT_JSON"

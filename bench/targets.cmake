@@ -23,3 +23,12 @@ add_executable(perf_micro ${BBA_BENCH_DIR}/perf_micro.cpp)
 target_link_libraries(perf_micro PRIVATE bba benchmark::benchmark benchmark::benchmark_main)
 set_target_properties(perf_micro PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+
+# `cmake --build <dir> --target run_perf` runs the suite and distills
+# BENCH_PR1.json at the repo root (serial vs. threaded ns/op per stage).
+add_custom_target(run_perf
+  COMMAND ${BBA_BENCH_DIR}/run_perf.sh ${CMAKE_BINARY_DIR}
+  DEPENDS perf_micro
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  COMMENT "Running perf_micro and distilling BENCH_PR1.json"
+  USES_TERMINAL)

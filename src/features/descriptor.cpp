@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 
 namespace bba {
 
@@ -95,11 +96,6 @@ DescriptorSet computeDescriptors(const MimResult& mim,
   const int w = mim.mim.width();
   const int h = mim.mim.height();
 
-  std::vector<Keypoint> kept;
-  std::vector<std::vector<float>> descs;
-  kept.reserve(keypoints.size());
-  descs.reserve(keypoints.size());
-
   // Rotated patches need sqrt(2) margin around the keypoint.
   const int margin = static_cast<int>(std::ceil(half * 1.4142135)) + 1;
 
@@ -107,11 +103,21 @@ DescriptorSet computeDescriptors(const MimResult& mim,
       prm.amplitudeMaskFraction *
       (mim.peakAmplitude.empty() ? 0.0 : mim.peakAmplitude.maxValue()));
 
-  for (const Keypoint& kp : keypoints) {
+  // Keypoints are independent: extract in parallel into per-index slots
+  // (an empty descriptor marks a rejected keypoint), then compact in index
+  // order so the output ordering matches a serial pass at any thread
+  // count.
+  struct Extracted {
+    Keypoint kp;
+    std::vector<float> desc;  // empty == rejected
+  };
+  std::vector<Extracted> slots(keypoints.size());
+
+  auto extractOne = [&](const Keypoint& kp, Extracted& slot) {
     const int cx = static_cast<int>(kp.px.x);
     const int cy = static_cast<int>(kp.px.y);
     if (cx < margin || cy < margin || cx >= w - margin || cy >= h - margin)
-      continue;
+      return;
 
     const double domOrient = dominantOrientation(mim, kp.px, half);
     // The dominant orientation is always recorded on the keypoint (RANSAC
@@ -191,14 +197,31 @@ DescriptorSet computeDescriptors(const MimResult& mim,
       v = std::sqrt(v);
       norm2 += static_cast<double>(v) * v;
     }
-    if (norm2 <= 0.0) continue;  // structure-free patch
+    if (norm2 <= 0.0) return;  // structure-free patch
     const float inv = static_cast<float>(1.0 / std::sqrt(norm2));
     for (float& v : desc) v *= inv;
 
-    Keypoint out = kp;
-    out.orientation = static_cast<float>(domOrient);
-    kept.push_back(out);
-    descs.push_back(std::move(desc));
+    slot.kp = kp;
+    slot.kp.orientation = static_cast<float>(domOrient);
+    slot.desc = std::move(desc);
+  };
+
+  parallelFor(0, static_cast<std::int64_t>(keypoints.size()), 8,
+              [&](std::int64_t i0, std::int64_t i1) {
+                for (std::int64_t i = i0; i < i1; ++i) {
+                  extractOne(keypoints[static_cast<std::size_t>(i)],
+                             slots[static_cast<std::size_t>(i)]);
+                }
+              });
+
+  std::vector<Keypoint> kept;
+  std::vector<std::vector<float>> descs;
+  kept.reserve(keypoints.size());
+  descs.reserve(keypoints.size());
+  for (Extracted& slot : slots) {
+    if (slot.desc.empty()) continue;
+    kept.push_back(slot.kp);
+    descs.push_back(std::move(slot.desc));
   }
 
   return DescriptorSet(std::move(kept), std::move(descs), l, no);

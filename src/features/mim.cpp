@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "geom/vec.hpp"
 
 namespace bba {
@@ -26,44 +27,56 @@ MimResult computeMim(const ImageF& bvImage, const LogGaborBank& bank) {
   out.numOrientations = no;
 
   const double binAngle = std::numbers::pi / static_cast<double>(no);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float bestAmp = 0.0f;
-      int bestIdx = 0;
-      float total = 0.0f;
-      for (int o = 0; o < no; ++o) {
-        const float a = amps[static_cast<std::size_t>(o)](x, y);
-        total += a;
-        if (a > bestAmp) {
-          bestAmp = a;
-          bestIdx = o;
-        }
-      }
-      out.mim(x, y) = static_cast<unsigned char>(bestIdx);
-      out.peakAmplitude(x, y) = bestAmp;
-      out.totalAmplitude(x, y) = total;
-
-      // Continuous orientation by the axial (pi-periodic) circular mean:
-      // theta = atan2(sum A sin 2t, sum A cos 2t) / 2 — the unbiased
-      // estimator for axial data, unlike parabolic peak interpolation.
-      double s2 = 0.0, c2 = 0.0;
-      for (int o = 0; o < no; ++o) {
-        const double a = amps[static_cast<std::size_t>(o)](x, y);
-        const double t2 = 2.0 * static_cast<double>(o) * binAngle;
-        c2 += a * std::cos(t2);
-        s2 += a * std::sin(t2);
-      }
-      // The filter at index o selects spatial frequency along o*binAngle;
-      // the underlying line/edge runs perpendicular to that. Store the
-      // structure direction (+90 degrees), which is what callers reason
-      // about.
-      double angle =
-          0.5 * std::atan2(s2, c2) + std::numbers::pi / 2.0;
-      angle = std::fmod(angle, std::numbers::pi);
-      if (angle < 0.0) angle += std::numbers::pi;
-      out.orientation(x, y) = static_cast<float>(angle);
-    }
+  // The per-orientation angle factors don't depend on the pixel; hoist
+  // them out of the per-pixel loop.
+  std::vector<double> cosTable(static_cast<std::size_t>(no));
+  std::vector<double> sinTable(static_cast<std::size_t>(no));
+  for (int o = 0; o < no; ++o) {
+    const double t2 = 2.0 * static_cast<double>(o) * binAngle;
+    cosTable[static_cast<std::size_t>(o)] = std::cos(t2);
+    sinTable[static_cast<std::size_t>(o)] = std::sin(t2);
   }
+
+  // Row-parallel, one fused sweep over the orientation stack per pixel
+  // (peak, total, and axial circular mean accumulate in the same pass).
+  // Each row's outputs are written by exactly one chunk.
+  parallelFor(0, h, 16, [&](std::int64_t y0, std::int64_t y1) {
+    for (std::int64_t yy = y0; yy < y1; ++yy) {
+      const int y = static_cast<int>(yy);
+      for (int x = 0; x < w; ++x) {
+        float bestAmp = 0.0f;
+        int bestIdx = 0;
+        float total = 0.0f;
+        double s2 = 0.0, c2 = 0.0;
+        for (int o = 0; o < no; ++o) {
+          const float a = amps[static_cast<std::size_t>(o)](x, y);
+          total += a;
+          if (a > bestAmp) {
+            bestAmp = a;
+            bestIdx = o;
+          }
+          const double ad = static_cast<double>(a);
+          c2 += ad * cosTable[static_cast<std::size_t>(o)];
+          s2 += ad * sinTable[static_cast<std::size_t>(o)];
+        }
+        out.mim(x, y) = static_cast<unsigned char>(bestIdx);
+        out.peakAmplitude(x, y) = bestAmp;
+        out.totalAmplitude(x, y) = total;
+
+        // Continuous orientation by the axial (pi-periodic) circular mean:
+        // theta = atan2(sum A sin 2t, sum A cos 2t) / 2 — the unbiased
+        // estimator for axial data, unlike parabolic peak interpolation.
+        // The filter at index o selects spatial frequency along o*binAngle;
+        // the underlying line/edge runs perpendicular to that. Store the
+        // structure direction (+90 degrees), which is what callers reason
+        // about.
+        double angle = 0.5 * std::atan2(s2, c2) + std::numbers::pi / 2.0;
+        angle = std::fmod(angle, std::numbers::pi);
+        if (angle < 0.0) angle += std::numbers::pi;
+        out.orientation(x, y) = static_cast<float>(angle);
+      }
+    }
+  });
   return out;
 }
 

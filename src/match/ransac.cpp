@@ -5,11 +5,17 @@
 #include <numbers>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "geom/kabsch.hpp"
 
 namespace bba {
 
 namespace {
+
+/// Iteration grain for the parallel hypothesis sweeps. Fixed (never a
+/// function of the thread count) so chunk boundaries — and therefore all
+/// per-chunk partial results — are reproducible at any BBA_THREADS.
+constexpr std::int64_t kIterGrain = 256;
 
 /// Angular distance modulo pi, in [0, pi/2]. Orientations from the MIM are
 /// pi-periodic (a line has no front/back).
@@ -63,6 +69,51 @@ bool similarTransforms(const Pose2& a, const Pose2& b) {
          angularDistance(a.theta, b.theta) < 6.0 * kDegToRad;
 }
 
+/// The cheap part of one RANSAC iteration: draw a 2-point minimal sample
+/// from the iteration's counter-based substream and run every filter that
+/// doesn't need the full correspondence set (degeneracy, length
+/// preservation, theta prior, orientation gate on the sample, translation
+/// bound). Returns true with the hypothesis in `out` if it survives.
+///
+/// Everything here is a pure function of (base, it, inputs), so iterations
+/// can run in any order on any number of threads and produce the same
+/// hypothesis stream.
+bool sampleHypothesis(std::uint64_t base, std::int64_t it,
+                      std::span<const Vec2> src, std::span<const Vec2> dst,
+                      const RansacParams& prm, const Gate& gate, Pose2* out) {
+  const int n = static_cast<int>(src.size());
+  CounterRng cr(base, static_cast<std::uint64_t>(it));
+  const int i = cr.uniformInt(0, n - 1);
+  const int j = cr.uniformInt(0, n - 1);
+  if (i == j) return false;
+
+  const Vec2 sv =
+      src[static_cast<std::size_t>(j)] - src[static_cast<std::size_t>(i)];
+  const Vec2 dv =
+      dst[static_cast<std::size_t>(j)] - dst[static_cast<std::size_t>(i)];
+  const double sn = sv.norm();
+  if (sn < prm.minPairSeparation) return false;
+  // A rigid transform preserves lengths: prune grossly inconsistent pairs
+  // before the (more expensive) inlier count.
+  if (std::abs(sn - dv.norm()) > 2.0 * prm.inlierThreshold) return false;
+
+  const double theta = std::atan2(dv.y, dv.x) - std::atan2(sv.y, sv.x);
+  if (prm.thetaPriorModPi >= 0.0 &&
+      angDistPi(theta - prm.thetaPriorModPi) > prm.thetaPriorTolerance)
+    return false;
+  // The minimal sample must itself pass the orientation gate.
+  if (!gate.pass(static_cast<std::size_t>(i), theta) ||
+      !gate.pass(static_cast<std::size_t>(j), theta))
+    return false;
+
+  const Vec2 t = dst[static_cast<std::size_t>(i)] -
+                 src[static_cast<std::size_t>(i)].rotated(theta);
+  if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
+    return false;
+  *out = Pose2{t, wrapAngle(theta)};
+  return true;
+}
+
 RansacResult refineWithGate(const Pose2& initial, std::span<const Vec2> src,
                             std::span<const Vec2> dst,
                             const RansacParams& prm, const Gate& gate) {
@@ -107,58 +158,54 @@ std::vector<RansacCandidate> ransacRigid2DCandidates(
   const int n = static_cast<int>(src.size());
   if (n < 2) return top;
 
-  for (int it = 0; it < prm.iterations; ++it) {
-    const int i = rng.uniformInt(0, n - 1);
-    const int j = rng.uniformInt(0, n - 1);
-    if (i == j) continue;
+  // One draw off the caller's generator seeds every per-iteration
+  // substream: call-site reproducibility is preserved (the parent stream
+  // advances exactly once), and iteration `it` sees values that depend
+  // only on (base, it).
+  const std::uint64_t base = rng.engine()();
 
-    const Vec2 sv = src[static_cast<std::size_t>(j)] -
-                    src[static_cast<std::size_t>(i)];
-    const Vec2 dv = dst[static_cast<std::size_t>(j)] -
-                    dst[static_cast<std::size_t>(i)];
-    const double sn = sv.norm();
-    if (sn < prm.minPairSeparation) continue;
-    // A rigid transform preserves lengths: prune grossly inconsistent pairs
-    // before the (more expensive) inlier count.
-    if (std::abs(sn - dv.norm()) > 2.0 * prm.inlierThreshold) continue;
-
-    const double theta = std::atan2(dv.y, dv.x) - std::atan2(sv.y, sv.x);
-    if (prm.thetaPriorModPi >= 0.0 &&
-        angDistPi(theta - prm.thetaPriorModPi) > prm.thetaPriorTolerance)
-      continue;
-    // The minimal sample must itself pass the orientation gate.
-    if (!gate.pass(static_cast<std::size_t>(i), theta) ||
-        !gate.pass(static_cast<std::size_t>(j), theta))
-      continue;
-
-    const Vec2 t = dst[static_cast<std::size_t>(i)] -
-                   src[static_cast<std::size_t>(i)].rotated(theta);
-    const Pose2 hyp{t, wrapAngle(theta)};
-    if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
-      continue;
-    const int inliers =
-        countInliers(hyp, src, dst, prm.inlierThreshold, gate, nullptr);
-    if (inliers < 2) continue;
-
-    // Merge into the top-K list, deduplicating near-identical transforms.
-    bool merged = false;
-    for (auto& cand : top) {
-      if (similarTransforms(cand.transform, hyp)) {
-        if (inliers > cand.inlierCount) {
-          cand.transform = hyp;
-          cand.inlierCount = inliers;
-        }
-        merged = true;
-        break;
-      }
+  // Phase 1 (parallel): sample + filter + score each iteration's
+  // hypothesis into per-chunk buckets. Scoring (countInliers) is the hot
+  // O(iterations * n) part.
+  const std::int64_t iters = prm.iterations;
+  std::vector<std::vector<RansacCandidate>> buckets(
+      static_cast<std::size_t>(chunkCount(0, iters, kIterGrain)));
+  parallelFor(0, iters, kIterGrain, [&](std::int64_t it0, std::int64_t it1) {
+    auto& bucket = buckets[static_cast<std::size_t>(it0 / kIterGrain)];
+    for (std::int64_t it = it0; it < it1; ++it) {
+      Pose2 hyp;
+      if (!sampleHypothesis(base, it, src, dst, prm, gate, &hyp)) continue;
+      const int inliers =
+          countInliers(hyp, src, dst, prm.inlierThreshold, gate, nullptr);
+      if (inliers < 2) continue;
+      bucket.push_back(RansacCandidate{hyp, inliers});
     }
-    if (!merged) top.push_back(RansacCandidate{hyp, inliers});
-    std::sort(top.begin(), top.end(),
-              [](const RansacCandidate& a, const RansacCandidate& b) {
-                return a.inlierCount > b.inlierCount;
-              });
-    if (top.size() > static_cast<std::size_t>(maxCandidates)) {
-      top.resize(static_cast<std::size_t>(maxCandidates));
+  });
+
+  // Phase 2 (serial, cheap): merge into the top-K list in iteration order
+  // — buckets in chunk order, candidates in order within each bucket — so
+  // the dedup/merge sequence is the same one a serial loop would perform.
+  for (const auto& bucket : buckets) {
+    for (const RansacCandidate& scored : bucket) {
+      bool merged = false;
+      for (auto& cand : top) {
+        if (similarTransforms(cand.transform, scored.transform)) {
+          if (scored.inlierCount > cand.inlierCount) {
+            cand.transform = scored.transform;
+            cand.inlierCount = scored.inlierCount;
+          }
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) top.push_back(scored);
+      std::sort(top.begin(), top.end(),
+                [](const RansacCandidate& a, const RansacCandidate& b) {
+                  return a.inlierCount > b.inlierCount;
+                });
+      if (top.size() > static_cast<std::size_t>(maxCandidates)) {
+        top.resize(static_cast<std::size_t>(maxCandidates));
+      }
     }
   }
   return top;
@@ -184,17 +231,38 @@ RansacResult ransacTranslation2D(std::span<const Vec2> src,
     return c;
   };
 
+  // Parallel sweep with per-chunk winners, combined in chunk order with a
+  // strict `>` — exactly the first-best-in-iteration-order rule of a
+  // serial scan, at any thread count.
+  const std::uint64_t base = rng.engine()();
+  const std::int64_t iters = prm.iterations;
+  struct ChunkBest {
+    int inliers = 0;
+    Vec2 t;
+  };
+  std::vector<ChunkBest> chunkBest(
+      static_cast<std::size_t>(chunkCount(0, iters, kIterGrain)));
+  parallelFor(0, iters, kIterGrain, [&](std::int64_t it0, std::int64_t it1) {
+    ChunkBest& local = chunkBest[static_cast<std::size_t>(it0 / kIterGrain)];
+    for (std::int64_t it = it0; it < it1; ++it) {
+      CounterRng cr(base, static_cast<std::uint64_t>(it));
+      const int i = cr.uniformInt(0, n - 1);
+      const Vec2 t = dst[static_cast<std::size_t>(i)] -
+                     src[static_cast<std::size_t>(i)];
+      if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
+        continue;
+      const int inliers = count(t, nullptr);
+      if (inliers > local.inliers) {
+        local.inliers = inliers;
+        local.t = t;
+      }
+    }
+  });
   Vec2 bestT;
-  for (int it = 0; it < prm.iterations; ++it) {
-    const int i = rng.uniformInt(0, n - 1);
-    const Vec2 t = dst[static_cast<std::size_t>(i)] -
-                   src[static_cast<std::size_t>(i)];
-    if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
-      continue;
-    const int inliers = count(t, nullptr);
-    if (inliers > best.inlierCount) {
-      best.inlierCount = inliers;
-      bestT = t;
+  for (const ChunkBest& cb : chunkBest) {
+    if (cb.inliers > best.inlierCount) {
+      best.inlierCount = cb.inliers;
+      bestT = cb.t;
     }
   }
   if (best.inlierCount < 1) return best;
@@ -240,56 +308,50 @@ VerifiedRansacResult ransacRigid2DVerified(
   const int n = static_cast<int>(src.size());
   if (n < 2) return best;
 
-  // Transforms already sent to the verifier, so near-duplicates of a
-  // scored hypothesis don't pay for verification again.
-  std::vector<Pose2> verified;
-
-  for (int it = 0; it < prm.iterations; ++it) {
-    const int i = rng.uniformInt(0, n - 1);
-    const int j = rng.uniformInt(0, n - 1);
-    if (i == j) continue;
-
-    const Vec2 sv = src[static_cast<std::size_t>(j)] -
-                    src[static_cast<std::size_t>(i)];
-    const Vec2 dv = dst[static_cast<std::size_t>(j)] -
-                    dst[static_cast<std::size_t>(i)];
-    const double sn = sv.norm();
-    if (sn < prm.minPairSeparation) continue;
-    if (std::abs(sn - dv.norm()) > 2.0 * prm.inlierThreshold) continue;
-
-    const double theta = std::atan2(dv.y, dv.x) - std::atan2(sv.y, sv.x);
-    if (prm.thetaPriorModPi >= 0.0 &&
-        angDistPi(theta - prm.thetaPriorModPi) > prm.thetaPriorTolerance)
-      continue;
-    if (!gate.pass(static_cast<std::size_t>(i), theta) ||
-        !gate.pass(static_cast<std::size_t>(j), theta))
-      continue;
-
-    const Vec2 t = dst[static_cast<std::size_t>(i)] -
-                   src[static_cast<std::size_t>(i)].rotated(theta);
-    const Pose2 hyp{t, wrapAngle(theta)};
-    if (prm.maxTranslationNorm >= 0.0 && t.norm() > prm.maxTranslationNorm)
-      continue;
-
-    bool seen = false;
-    for (const Pose2& v : verified) {
-      if (similarTransforms(v, hyp)) {
-        seen = true;
-        break;
-      }
+  // Phase 1 (parallel): sample + cheap filters + inlier count for every
+  // admissible hypothesis, in per-chunk buckets. Counts are independent of
+  // the dedup order, so computing them eagerly (including for hypotheses a
+  // serial loop would have skipped as near-duplicates) changes wall-clock
+  // cost but not any result.
+  const std::uint64_t base = rng.engine()();
+  const std::int64_t iters = prm.iterations;
+  std::vector<std::vector<RansacCandidate>> buckets(
+      static_cast<std::size_t>(chunkCount(0, iters, kIterGrain)));
+  parallelFor(0, iters, kIterGrain, [&](std::int64_t it0, std::int64_t it1) {
+    auto& bucket = buckets[static_cast<std::size_t>(it0 / kIterGrain)];
+    for (std::int64_t it = it0; it < it1; ++it) {
+      Pose2 hyp;
+      if (!sampleHypothesis(base, it, src, dst, prm, gate, &hyp)) continue;
+      const int inliers =
+          countInliers(hyp, src, dst, prm.inlierThreshold, gate, nullptr);
+      if (inliers < std::max(2, prm.minInliers)) continue;
+      bucket.push_back(RansacCandidate{hyp, inliers});
     }
-    if (seen) continue;
+  });
 
-    const int inliers =
-        countInliers(hyp, src, dst, prm.inlierThreshold, gate, nullptr);
-    if (inliers < std::max(2, prm.minInliers)) continue;
+  // Phase 2 (serial, iteration order): dedup against already-verified
+  // transforms and score the survivors. The verifier is a caller-supplied
+  // closure with no thread-safety contract, and the dedup list it gates on
+  // is order-dependent, so this stays on one thread.
+  std::vector<Pose2> verified;
+  for (const auto& bucket : buckets) {
+    for (const RansacCandidate& cand : bucket) {
+      bool seen = false;
+      for (const Pose2& v : verified) {
+        if (similarTransforms(v, cand.transform)) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
 
-    verified.push_back(hyp);
-    const double score = verifier(hyp);
-    if (score > best.verifierScore) {
-      best.verifierScore = score;
-      best.ransac.transform = hyp;
-      best.ransac.inlierCount = inliers;
+      verified.push_back(cand.transform);
+      const double score = verifier(cand.transform);
+      if (score > best.verifierScore) {
+        best.verifierScore = score;
+        best.ransac.transform = cand.transform;
+        best.ransac.inlierCount = cand.inlierCount;
+      }
     }
   }
 

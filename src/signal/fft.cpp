@@ -1,9 +1,11 @@
 #include "signal/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 
 namespace bba {
 
@@ -59,24 +61,68 @@ ImageF ComplexImage::magnitude() const {
   return out;
 }
 
+namespace {
+
+/// Blocked out-of-place transpose: dst(y, x) = src(x, y). Parallel over
+/// block rows; every destination element is written by exactly one chunk.
+void transpose(const ComplexImage& src, ComplexImage& dst) {
+  const int w = src.width();
+  const int h = src.height();
+  constexpr int kBlock = 32;
+  const std::int64_t blockRows = (h + kBlock - 1) / kBlock;
+  parallelFor(0, blockRows, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t br = b0; br < b1; ++br) {
+      const int y0 = static_cast<int>(br) * kBlock;
+      const int y1 = std::min(h, y0 + kBlock);
+      for (int x0 = 0; x0 < w; x0 += kBlock) {
+        const int x1 = std::min(w, x0 + kBlock);
+        for (int y = y0; y < y1; ++y) {
+          for (int x = x0; x < x1; ++x) dst(y, x) = src(x, y);
+        }
+      }
+    }
+  });
+}
+
+/// Independent per-row FFTs over a contiguous-row image, in parallel.
+void fftRows(ComplexImage& img, bool inverse) {
+  const int w = img.width();
+  const int h = img.height();
+  const std::int64_t grain = std::max<std::int64_t>(1, 4096 / std::max(w, 1));
+  parallelFor(0, h, grain, [&](std::int64_t y0, std::int64_t y1) {
+    for (std::int64_t y = y0; y < y1; ++y) {
+      fft1d(std::span<Complexf>(&img(0, static_cast<int>(y)),
+                                static_cast<std::size_t>(w)),
+            inverse);
+    }
+  });
+}
+
+}  // namespace
+
 void fft2d(ComplexImage& img, bool inverse) {
   const int w = img.width();
   const int h = img.height();
   BBA_ASSERT_MSG(isPowerOfTwo(w) && isPowerOfTwo(h),
                  "fft2d requires power-of-two dimensions");
 
-  // Rows in place.
-  for (int y = 0; y < h; ++y) {
-    fft1d(std::span<Complexf>(&img(0, y), static_cast<std::size_t>(w)),
-          inverse);
-  }
-  // Columns via a scratch buffer.
-  std::vector<Complexf> col(static_cast<std::size_t>(h));
-  for (int x = 0; x < w; ++x) {
-    for (int y = 0; y < h; ++y) col[static_cast<std::size_t>(y)] = img(x, y);
-    fft1d(col, inverse);
-    for (int y = 0; y < h; ++y) img(x, y) = col[static_cast<std::size_t>(y)];
-  }
+  // Row pass in place, then the column pass as transpose -> row FFTs ->
+  // transpose: the strided column walk of the naive scheme misses cache on
+  // every element, the transposed walk is sequential.
+  fftRows(img, inverse);
+  ComplexImage t(h, w);
+  transpose(img, t);
+  fftRows(t, inverse);
+  transpose(t, img);
+}
+
+void multiplySpectrum(ComplexImage& spectrum, const ImageF& filter) {
+  BBA_ASSERT_MSG(spectrum.width() == filter.width() &&
+                     spectrum.height() == filter.height(),
+                 "spectrum and filter dimensions must match");
+  auto& s = spectrum.data();
+  const auto& f = filter.data();
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] *= f[i];
 }
 
 }  // namespace bba

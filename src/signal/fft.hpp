@@ -49,8 +49,15 @@ class ComplexImage {
 };
 
 /// In-place 2-D FFT (rows then columns). Width and height must each be a
-/// power of two.
+/// power of two. The column pass runs as transpose -> row FFTs ->
+/// transpose for cache locality; rows are processed in parallel (see
+/// common/parallel.hpp) with bit-identical results at any thread count.
 void fft2d(ComplexImage& img, bool inverse);
+
+/// In-place element-wise multiply of a complex spectrum by a real filter
+/// response: spectrum[i] *= filter[i]. The one operation every
+/// spectrum-domain filtering pass (Log-Gabor bank, correlation) performs.
+void multiplySpectrum(ComplexImage& spectrum, const ImageF& filter);
 
 /// True if n is a power of two (and > 0).
 [[nodiscard]] constexpr bool isPowerOfTwo(int n) {

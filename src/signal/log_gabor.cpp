@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 
 namespace bba {
 
@@ -16,18 +17,22 @@ LogGaborBank::LogGaborBank(int width, int height,
 
   const int ns = params.numScales;
   const int no = params.numOrientations;
-  filters_.reserve(static_cast<std::size_t>(ns * no));
+  filters_.assign(static_cast<std::size_t>(ns * no), ImageF());
 
   const double sigmaTheta =
       params.thetaSigmaRatio * std::numbers::pi / static_cast<double>(no);
   const double logSigmaOnf2 =
       2.0 * std::log(params.sigmaOnf) * std::log(params.sigmaOnf);
 
-  for (int s = 0; s < ns; ++s) {
-    const double wavelength =
-        params.minWavelength * std::pow(params.mult, static_cast<double>(s));
-    const double f0 = 1.0 / wavelength;  // center frequency (cycles/pixel)
-    for (int o = 0; o < no; ++o) {
+  // Each filter is an independent pure function of (s, o); one task per
+  // filter, each writing only its own filters_ slot.
+  parallelFor(0, ns * no, 1, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const int s = static_cast<int>(i) / no;
+      const int o = static_cast<int>(i) % no;
+      const double wavelength =
+          params.minWavelength * std::pow(params.mult, static_cast<double>(s));
+      const double f0 = 1.0 / wavelength;  // center frequency (cycles/pixel)
       const double theta0 =
           static_cast<double>(o) * std::numbers::pi / static_cast<double>(no);
       const double cos0 = std::cos(theta0);
@@ -62,9 +67,9 @@ LogGaborBank::LogGaborBank(int width, int height,
           filt(x, y) = static_cast<float>(radial * angular);
         }
       }
-      filters_.push_back(std::move(filt));
+      filters_[static_cast<std::size_t>(i)] = std::move(filt);
     }
-  }
+  });
 }
 
 const ImageF& LogGaborBank::filter(int s, int o) const {
@@ -79,30 +84,32 @@ std::vector<ImageF> LogGaborBank::orientationAmplitudes(
                  "image dimensions must match the bank");
 
   ComplexImage spectrum = ComplexImage::fromReal(img);
-  fft2d(spectrum, /*inverse=*/false);
+  fft2d(spectrum, /*inverse=*/false);  // itself row-parallel
 
   const int ns = params_.numScales;
   const int no = params_.numOrientations;
   std::vector<ImageF> amp(static_cast<std::size_t>(no), ImageF(w_, h_, 0.0f));
 
-  ComplexImage response(w_, h_);
-  for (int o = 0; o < no; ++o) {
-    ImageF& acc = amp[static_cast<std::size_t>(o)];
-    for (int s = 0; s < ns; ++s) {
-      const ImageF& filt = filter(s, o);
-      auto& rdata = response.data();
-      const auto& sdata = spectrum.data();
-      const auto& fdata = filt.data();
-      for (std::size_t i = 0; i < rdata.size(); ++i) {
-        rdata[i] = sdata[i] * fdata[i];
-      }
-      fft2d(response, /*inverse=*/true);
-      auto& adata = acc.data();
-      for (std::size_t i = 0; i < adata.size(); ++i) {
-        adata[i] += std::abs(response.data()[i]);
+  // One task per orientation: each owns its amp[o] accumulator and its own
+  // ComplexImage scratch, and walks the scales in index order, so no two
+  // tasks share a write range and the per-pixel accumulation order is
+  // fixed regardless of thread count. The inverse FFTs inside run inline
+  // (nested parallel regions are serial by contract).
+  parallelFor(0, no, 1, [&](std::int64_t o0, std::int64_t o1) {
+    ComplexImage response(w_, h_);
+    for (std::int64_t o = o0; o < o1; ++o) {
+      ImageF& acc = amp[static_cast<std::size_t>(o)];
+      for (int s = 0; s < ns; ++s) {
+        response = spectrum;
+        multiplySpectrum(response, filter(s, static_cast<int>(o)));
+        fft2d(response, /*inverse=*/true);
+        auto& adata = acc.data();
+        for (std::size_t i = 0; i < adata.size(); ++i) {
+          adata[i] += std::abs(response.data()[i]);
+        }
       }
     }
-  }
+  });
   return amp;
 }
 

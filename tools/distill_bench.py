@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Distill google-benchmark JSON into the repo's BENCH_*.json trajectory format.
+
+Input: the raw --benchmark_format=json output of bench/perf_micro, whose
+benchmark names look like "BM_MimComputation/threads:1". For each stage the
+serial entry is threads:1 and the threaded entry is the largest thread
+count present.
+
+Output: {"stages": {stage: {"serial_ns": .., "threaded_ns": .., "speedup": ..}}}
+plus host metadata, so successive PRs can diff per-stage ns/op without
+parsing benchmark internals.
+"""
+import json
+import os
+import re
+import sys
+
+
+STAGE_NAMES = {
+    "BM_Fft2d256": "fft2d_256",
+    "BM_BvImage": "bv_rasterization",
+    "BM_MimComputation": "mim",
+    "BM_DescribeBvImage": "descriptors",
+    "BM_RansacRigid2D": "ransac",
+    "BM_RecoverPose": "recover_pose_end_to_end",
+}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} raw_benchmark.json out.json", file=sys.stderr)
+        return 2
+    raw_path, out_path = sys.argv[1], sys.argv[2]
+    with open(raw_path) as f:
+        raw = json.load(f)
+
+    # name -> {threads: real_time_ns}
+    timings = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        m = re.match(r"^(BM_\w+)/threads:(\d+)$", bench["name"])
+        if not m:
+            continue
+        name, threads = m.group(1), int(m.group(2))
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        timings.setdefault(name, {})[threads] = bench["real_time"] * scale
+
+    stages = {}
+    for bench_name, per_threads in sorted(timings.items()):
+        stage = STAGE_NAMES.get(bench_name, bench_name)
+        serial = per_threads.get(1)
+        threaded_n = max(per_threads)
+        threaded = per_threads[threaded_n]
+        entry = {
+            "serial_ns": round(serial, 1) if serial is not None else None,
+            "threaded_ns": round(threaded, 1),
+            "threaded_threads": threaded_n,
+        }
+        if serial:
+            entry["speedup"] = round(serial / threaded, 3)
+        stages[stage] = entry
+
+    out = {
+        "benchmark": "bench/perf_micro",
+        "host_cpus": os.cpu_count(),
+        "context": {
+            k: raw.get("context", {}).get(k)
+            for k in ("date", "num_cpus", "mhz_per_cpu", "library_build_type")
+        },
+        "note": (
+            "ns per op (google-benchmark real_time). serial = BBA_THREADS-"
+            "equivalent ThreadLimit(1); threaded = the pool at "
+            "threaded_threads. Speedups only materialize when host_cpus > 1."
+        ),
+        "stages": stages,
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
