@@ -6,6 +6,9 @@
 // baseline (ThreadLimit(1), fully inline execution), /N exercises the
 // work-sharing pool of common/parallel.hpp. bench/run_perf.sh distills the
 // JSON output of this binary into BENCH_PR<k>.json at the repo root.
+//
+// Setting BBA_TRACE_OUT / BBA_METRICS_OUT additionally writes a Chrome
+// trace / metrics-registry JSON covering the whole run (see src/obs).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -17,6 +20,7 @@
 #include "dataset/generator.hpp"
 #include "features/mim.hpp"
 #include "match/ransac.hpp"
+#include "obs/obs.hpp"
 
 namespace bba {
 namespace {
@@ -135,3 +139,14 @@ BENCHMARK(BM_RansacRigid2D)->Apply(threadArgs);
 
 }  // namespace
 }  // namespace bba
+
+// Custom main (instead of benchmark_main) so the env-driven observability
+// sinks are installed before any benchmark runs and flushed after the last.
+int main(int argc, char** argv) {
+  bba::obs::EnvObservability obs;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,9 +18,10 @@ foreach(bench_src ${BBA_FIG_BENCHES})
     RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 endforeach()
 
-# Runtime microbenchmarks (google-benchmark).
+# Runtime microbenchmarks (google-benchmark). perf_micro defines its own
+# main (observability setup), so it links benchmark, not benchmark_main.
 add_executable(perf_micro ${BBA_BENCH_DIR}/perf_micro.cpp)
-target_link_libraries(perf_micro PRIVATE bba benchmark::benchmark benchmark::benchmark_main)
+target_link_libraries(perf_micro PRIVATE bba benchmark::benchmark)
 set_target_properties(perf_micro PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 

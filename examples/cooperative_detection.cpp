@@ -6,6 +6,9 @@
 // ways — with the true pose, with the corrupted pose, and with the pose
 // BB-Align recovers — and report the detection AP each achieves.
 //
+// Setting BBA_TRACE_OUT / BBA_METRICS_OUT writes a Chrome-trace / metrics
+// JSON covering the run (see src/obs).
+//
 //   ./build/examples/example_cooperative_detection [numScenes]
 #include <iostream>
 #include <string>
@@ -14,9 +17,11 @@
 #include "dataset/generator.hpp"
 #include "fusion/ap.hpp"
 #include "fusion/fusion.hpp"
+#include "obs/obs.hpp"
 
 int main(int argc, char** argv) {
   using namespace bba;
+  obs::EnvObservability observability;
   const int numScenes = argc > 1 ? std::atoi(argv[1]) : 10;
 
   DatasetConfig dataCfg;
@@ -41,7 +46,9 @@ int main(int argc, char** argv) {
         aligner.makeCarData(pair->egoCloud, pair->egoDets);
     const CarPerceptionData otherData =
         aligner.makeCarData(pair->otherCloud, pair->otherDets);
-    const PoseRecoveryResult rec = aligner.recover(otherData, egoData, rng);
+    PoseRecoveryReport report;
+    const PoseRecoveryResult rec =
+        aligner.recover(otherData, egoData, rng, &report);
     const Pose2 used = rec.success ? rec.estimate : noisy;
     recovered += rec.success;
 
@@ -57,7 +64,9 @@ int main(int argc, char** argv) {
     std::cout << "scene " << i << ": recovery "
               << (rec.success ? "SUCCESS" : "fallback")
               << " (inliers bv/box = " << rec.inliersBv << "/"
-              << rec.inliersBox << ")\n";
+              << rec.inliersBox << ", " << report.msTotal << " ms: mim "
+              << report.msMim << ", ransac-bv " << report.msRansacBv
+              << "; cause = " << toString(report.failure) << ")\n";
   }
 
   std::cout << "\nEarly-fusion detection over " << gtFrames.size()

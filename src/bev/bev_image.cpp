@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace bba {
 
@@ -20,6 +21,7 @@ bool toCell(const BevParams& p, const Vec3& pt, int& u, int& v) {
 }  // namespace
 
 ImageF makeHeightBV(const PointCloud& cloud, const BevParams& params) {
+  BBA_SPAN("bev");
   BBA_ASSERT(params.range > 0.0 && params.cellSize > 0.0);
   const int h = params.imageSize();
   ImageF img(h, h, 0.0f);
@@ -34,6 +36,7 @@ ImageF makeHeightBV(const PointCloud& cloud, const BevParams& params) {
 }
 
 ImageF makeDensityBV(const PointCloud& cloud, const BevParams& params) {
+  BBA_SPAN("bev");
   BBA_ASSERT(params.range > 0.0 && params.cellSize > 0.0);
   const int h = params.imageSize();
   ImageF counts(h, h, 0.0f);

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include <chrono>
+
 #include "common/assert.hpp"
 #include "features/mim.hpp"
 #include "geom/iou.hpp"
 #include "geom/kabsch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spatial/kdtree.hpp"
 
 namespace bba {
@@ -30,6 +34,7 @@ BBAlign::BBAlign(BBAlignConfig config) : cfg_(std::move(config)) {
 
 CarPerceptionData BBAlign::makeCarData(const PointCloud& cloud,
                                        const Detections& dets) const {
+  BBA_SPAN("make-car-data");
   CarPerceptionData data;
   data.bvImage = makeHeightBV(cloud, cfg_.bev);
   data.boxes = projectBV(dets);
@@ -40,6 +45,7 @@ namespace {
 std::vector<Keypoint> detectKeypoints(const BBAlignConfig& cfg,
                                       const ImageF& bvImage,
                                       const MimResult& mim) {
+  BBA_SPAN("keypoints");
   switch (cfg.keypointSurface) {
     case BBAlignConfig::KeypointSurface::BvDense:
       return detectBlockMaxima(bvImage, cfg.blockMax);
@@ -180,6 +186,7 @@ Pose2 icpPolishBv(const std::vector<Vec2>& srcPts, const ImageF& egoBv,
 struct BoxAlignment {
   RansacResult ransac;
   int pairs = 0;
+  bool ransacRan = false;  ///< enough corner pairs to attempt a model
 };
 
 BoxAlignment alignBoxes(const std::vector<OrientedBox2>& otherBoxes,
@@ -233,30 +240,127 @@ BoxAlignment alignBoxes(const std::vector<OrientedBox2>& otherBoxes,
         rigid = out.pairs >= cfg.autoRigidMinPairs;
         break;
     }
+    BBA_SPAN("ransac-box");
     out.ransac = rigid ? ransacRigid2D(src, dst, cfg.ransacBox, rng)
                        : ransacTranslation2D(src, dst, cfg.ransacBox, rng);
+    out.ransacRan = true;
   }
   return out;
+}
+
+/// Millisecond lap timer for the per-call report; reads the clock only
+/// when a report was requested, so the unreported path stays clock-free.
+class LapTimer {
+ public:
+  explicit LapTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) last_ = std::chrono::steady_clock::now();
+  }
+
+  /// Milliseconds since construction or the previous lap() call.
+  double lap() {
+    if (!enabled_) return 0.0;
+    const auto now = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - last_).count();
+    last_ = now;
+    return ms;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+RecoveryFailure classifyFailure(const BBAlignConfig& cfg,
+                                const PoseRecoveryResult& r,
+                                bool stage1Consensus, bool stage2Consensus) {
+  if (r.success) return RecoveryFailure::None;
+  if (!r.stage1Ok) {
+    return stage1Consensus ? RecoveryFailure::Stage1LowOverlap
+                           : RecoveryFailure::Stage1NoConsensus;
+  }
+  if (!cfg.enableBoxAlignment) return RecoveryFailure::BoxAlignmentDisabled;
+  if (!r.stage2Ok) {
+    return stage2Consensus ? RecoveryFailure::Stage2Unbounded
+                           : RecoveryFailure::Stage2NoConsensus;
+  }
+  return RecoveryFailure::InlierThreshold;
+}
+
+/// Registry-side account of one finished recover() call. Counter names
+/// are static so the failure taxonomy stays greppable.
+void recordRecoveryMetrics(const PoseRecoveryReport& rep) {
+#if defined(BBA_OBSERVABILITY_ENABLED)
+  obs::MetricsRegistry* reg = obs::metricsRegistry();
+  if (!reg) return;
+  reg->counter("recover.calls").increment();
+  if (rep.success) reg->counter("recover.success").increment();
+  switch (rep.failure) {
+    case RecoveryFailure::None:
+      break;
+    case RecoveryFailure::Stage1NoConsensus:
+      reg->counter("recover.failure.stage1_no_consensus").increment();
+      break;
+    case RecoveryFailure::Stage1LowOverlap:
+      reg->counter("recover.failure.stage1_low_overlap").increment();
+      break;
+    case RecoveryFailure::BoxAlignmentDisabled:
+      reg->counter("recover.failure.box_alignment_disabled").increment();
+      break;
+    case RecoveryFailure::Stage2NoConsensus:
+      reg->counter("recover.failure.stage2_no_consensus").increment();
+      break;
+    case RecoveryFailure::Stage2Unbounded:
+      reg->counter("recover.failure.stage2_unbounded").increment();
+      break;
+    case RecoveryFailure::InlierThreshold:
+      reg->counter("recover.failure.inlier_threshold").increment();
+      break;
+  }
+  reg->counter("stage1.ransac_iterations").add(rep.ransacBvIterations);
+  reg->counter("stage2.ransac_iterations").add(rep.ransacBoxIterations);
+  reg->histogram("stage1.keypoints").observe(rep.keypointsEgo);
+  reg->histogram("stage1.keypoints").observe(rep.keypointsOther);
+  reg->histogram("stage1.descriptor_matches").observe(rep.descriptorMatches);
+  reg->histogram("stage1.inliers_bv").observe(rep.inliersBv);
+  reg->histogram("stage1.overlap_score").observe(rep.overlapScore);
+  reg->histogram("stage2.box_pairs").observe(rep.boxPairs);
+  reg->histogram("stage2.inliers_box").observe(rep.inliersBox);
+#else
+  (void)rep;
+#endif
 }
 
 }  // namespace
 
 PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
-                                    const CarPerceptionData& ego,
-                                    Rng& rng) const {
+                                    const CarPerceptionData& ego, Rng& rng,
+                                    PoseRecoveryReport* report) const {
+  BBA_SPAN("recover");
   PoseRecoveryResult result;
+  PoseRecoveryReport rep;
+  LapTimer total(report != nullptr);
+  LapTimer lap(report != nullptr);
 
   // ---- Stage 1: BV image matching (Algorithm 1 lines 5–11) -------------
   const MimResult mimEgo = computeImageMim(ego.bvImage);
   const MimResult mimOther = computeImageMim(other.bvImage);
+  rep.msMim = lap.lap();
   const std::vector<Keypoint> kpsEgo =
       detectKeypoints(cfg_, ego.bvImage, mimEgo);
   const std::vector<Keypoint> kpsOther =
       detectKeypoints(cfg_, other.bvImage, mimOther);
+  rep.msKeypoints = lap.lap();
+  rep.keypointsEgo = static_cast<int>(kpsEgo.size());
+  rep.keypointsOther = static_cast<int>(kpsOther.size());
+  BBA_COUNTER_ADD("stage1.keypoints_detected",
+                  static_cast<std::int64_t>(kpsEgo.size() + kpsOther.size()));
 
   DescriptorParams dpEgo = cfg_.descriptor;
   dpEgo.fixedAngle = 0.0;
   const DescriptorSet descEgo = computeDescriptors(mimEgo, kpsEgo, dpEgo);
+  rep.msDescriptors += lap.lap();
+  rep.descriptorsEgo = static_cast<int>(descEgo.size());
 
   // Global relative-yaw candidates: a V2V frame pair has ONE relative
   // rotation, visible as a circular shift between the two images' MIM
@@ -294,16 +398,21 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
                              cfg_.overlapIntensityThreshold);
   VerifiedRansacResult bestVerified;
   int bestMatches = 0;
+  int bestDescOther = 0;
+  rep.yawCandidates = static_cast<int>(yawCands.size());
   for (const double yaw : yawCands) {
     DescriptorParams dpOther = cfg_.descriptor;
     // yaw is the other->ego rotation (ego pixels = R(yaw) * other pixels
     // + shift); sampling the other image's patches with offsets rotated by
     // -yaw reads the content that ego's unrotated offsets read.
     dpOther.fixedAngle = -yaw;
+    lap.lap();
     const DescriptorSet descOther =
         computeDescriptors(mimOther, kpsOther, dpOther);
+    rep.msDescriptors += lap.lap();
     const std::vector<Match> matches =
         matchDescriptors(descOther, descEgo, cfg_.matching);
+    rep.msMatching += lap.lap();
 
     std::vector<Vec2> src, dst;
     std::vector<double> srcOrient, dstOrient;
@@ -328,13 +437,20 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
     // car's BV structure onto the ego car's, and the best score wins.
     RansacParams prm = cfg_.ransacBv;
     if (fixedMode) prm.thetaPriorModPi = yaw;
-    const VerifiedRansacResult verified = ransacRigid2DVerified(
-        src, dst, prm, rng,
-        [&scorer](const Pose2& T) { return scorer.score(T); }, srcOrient,
-        dstOrient);
+    VerifiedRansacResult verified;
+    {
+      BBA_SPAN("ransac-bv");
+      verified = ransacRigid2DVerified(
+          src, dst, prm, rng,
+          [&scorer](const Pose2& T) { return scorer.score(T); }, srcOrient,
+          dstOrient);
+    }
+    rep.msRansacBv += lap.lap();
+    rep.ransacBvIterations += prm.iterations;
     if (verified.verifierScore > bestVerified.verifierScore) {
       bestVerified = verified;
       bestMatches = static_cast<int>(matches.size());
+      bestDescOther = static_cast<int>(descOther.size());
     }
   }
 
@@ -344,10 +460,15 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
       std::max(bestVerified.verifierScore, scorer.score(bv.transform)), 0.0);
   result.inliersBv = bv.inlierCount;
   result.stage1Ok = bv.ok && result.overlapScore >= cfg_.minOverlapScore;
+  rep.descriptorsOther = bestDescOther;
+  rep.descriptorMatches = bestMatches;
+  BBA_COUNTER_ADD("stage1.descriptor_matches", bestMatches);
 
   // Dense polish over all BV structure pixels; kept only if the overlap
   // verification agrees it did not get worse.
+  lap.lap();
   if (cfg_.bvIcpPolish && result.stage1Ok) {
+    BBA_SPAN("icp-polish");
     const Pose2 polished =
         icpPolishBv(scorer.otherPoints(), ego.bvImage, cfg_.bev,
                     cfg_.overlapIntensityThreshold, bv.transform);
@@ -357,16 +478,21 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
       result.overlapScore = std::max(result.overlapScore, polishedScore);
     }
   }
+  rep.msIcpPolish = lap.lap();
 
   result.stage1 = bv.transform;
   result.estimate = bv.transform;
 
   // ---- Stage 2: bounding-box alignment (lines 12–15) --------------------
+  bool stage2Consensus = false;
   if (cfg_.enableBoxAlignment && result.stage1Ok) {
+    BBA_SPAN("stage2");
     const BoxAlignment boxes =
         alignBoxes(other.boxes, ego.boxes, bv.transform, cfg_, rng);
     result.boxPairs = boxes.pairs;
     result.inliersBox = boxes.ransac.inlierCount;
+    stage2Consensus = boxes.ransac.ok;
+    if (boxes.ransacRan) rep.ransacBoxIterations += cfg_.ransacBox.iterations;
     // Accept the refinement only while it stays a *refinement* — a large
     // correction after refinement means mispaired boxes won the vote.
     const Pose2& tBox = boxes.ransac.transform;
@@ -381,12 +507,25 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
       result.estimate = tBox.compose(bv.transform);
     }
   }
+  rep.msStage2 = lap.lap();
 
   result.success = result.stage1Ok && result.stage2Ok &&
                    result.inliersBv > cfg_.successInliersBv &&
                    result.inliersBox > cfg_.successInliersBox;
   // Eq. 1 lift with the ground-vehicle constants (line 17).
   result.estimate3D = Pose3::fromPose2(result.estimate);
+
+  rep.inliersBv = result.inliersBv;
+  rep.overlapScore = result.overlapScore;
+  rep.boxPairs = result.boxPairs;
+  rep.inliersBox = result.inliersBox;
+  rep.stage1Ok = result.stage1Ok;
+  rep.stage2Ok = result.stage2Ok;
+  rep.success = result.success;
+  rep.failure = classifyFailure(cfg_, result, bv.ok, stage2Consensus);
+  rep.msTotal = total.lap();
+  recordRecoveryMetrics(rep);
+  if (report) *report = rep;
   return result;
 }
 

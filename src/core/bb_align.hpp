@@ -11,6 +11,7 @@
 #include "geom/pose3.hpp"
 #include "match/matcher.hpp"
 #include "match/ransac.hpp"
+#include "obs/report.hpp"
 #include "signal/log_gabor.hpp"
 
 namespace bba {
@@ -172,9 +173,14 @@ class BBAlign {
 
   /// Recover the relative pose from the other car to the ego car
   /// (Algorithm 1 lines 4–17). `rng` drives RANSAC sampling.
-  [[nodiscard]] PoseRecoveryResult recover(const CarPerceptionData& other,
-                                           const CarPerceptionData& ego,
-                                           Rng& rng) const;
+  ///
+  /// `report` (optional) receives a structured per-call account — stage
+  /// wall times, keypoint/match/inlier counts, RANSAC iteration totals and
+  /// the failure cause — so callers consume these numbers instead of
+  /// recomputing them. Requesting a report never changes the estimate.
+  [[nodiscard]] PoseRecoveryResult recover(
+      const CarPerceptionData& other, const CarPerceptionData& ego, Rng& rng,
+      PoseRecoveryReport* report = nullptr) const;
 
   /// Stage-1-internal product: keypoints + descriptors of one BV image.
   /// `fixedAngle` applies when descriptor.rotationMode == FixedAngle.

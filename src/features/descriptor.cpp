@@ -6,6 +6,8 @@
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bba {
 
@@ -87,6 +89,7 @@ double dominantOrientation(const MimResult& mim, const Vec2& px,
 DescriptorSet computeDescriptors(const MimResult& mim,
                                  std::vector<Keypoint> keypoints,
                                  const DescriptorParams& prm) {
+  BBA_SPAN("descriptor");
   BBA_ASSERT(prm.patchSize >= prm.grid && prm.grid >= 1);
   const int no = mim.numOrientations;
   const int l = prm.grid;
@@ -223,6 +226,10 @@ DescriptorSet computeDescriptors(const MimResult& mim,
     kept.push_back(slot.kp);
     descs.push_back(std::move(slot.desc));
   }
+  BBA_COUNTER_ADD("descriptor.computed",
+                  static_cast<std::int64_t>(kept.size()));
+  BBA_COUNTER_ADD("descriptor.rejected",
+                  static_cast<std::int64_t>(keypoints.size() - kept.size()));
 
   return DescriptorSet(std::move(kept), std::move(descs), l, no);
 }

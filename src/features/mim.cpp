@@ -7,10 +7,12 @@
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
 #include "geom/vec.hpp"
+#include "obs/trace.hpp"
 
 namespace bba {
 
 MimResult computeMim(const ImageF& bvImage, const LogGaborBank& bank) {
+  BBA_SPAN("mim");
   BBA_ASSERT_MSG(bvImage.width() == bank.width() &&
                      bvImage.height() == bank.height(),
                  "BV image dimensions must match the Log-Gabor bank");

@@ -6,6 +6,8 @@
 #include "common/assert.hpp"
 #include "fusion/nms.hpp"
 #include "geom/pose3.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "signal/image.hpp"
 
 namespace bba {
@@ -186,6 +188,8 @@ Detections cooperativeDetect(FusionMethod method, const PointCloud& rawEgo,
                              const FusionConfig& cfg,
                              const EgoMotion& egoMotion,
                              const EgoMotion& otherMotion) {
+  BBA_SPAN("fusion");
+  BBA_COUNTER_ADD("fusion.calls", 1);
   const Pose3 T = Pose3::fromPose2(otherToEgo);
   // Standard single-car preprocessing: each stack deskews its own sweep
   // with its onboard odometry before any sharing happens.

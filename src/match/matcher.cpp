@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bba {
 
@@ -31,6 +33,7 @@ struct TopK {
 std::vector<Match> matchDescriptors(const DescriptorSet& src,
                                     const DescriptorSet& dst,
                                     const MatchParams& prm) {
+  BBA_SPAN("match");
   BBA_ASSERT(prm.topK >= 1);
   std::vector<Match> out;
   if (src.empty() || dst.empty()) return out;
@@ -79,6 +82,7 @@ std::vector<Match> matchDescriptors(const DescriptorSet& src,
       out.push_back(Match{static_cast<int>(i), j, std::sqrt(d)});
     }
   }
+  BBA_COUNTER_ADD("match.matches", static_cast<std::int64_t>(out.size()));
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
 #include "geom/kabsch.hpp"
+#include "obs/metrics.hpp"
 
 namespace bba {
 
@@ -333,6 +334,11 @@ VerifiedRansacResult ransacRigid2DVerified(
   // transforms and score the survivors. The verifier is a caller-supplied
   // closure with no thread-safety contract, and the dedup list it gates on
   // is order-dependent, so this stays on one thread.
+  std::int64_t admissible = 0;
+  for (const auto& bucket : buckets) {
+    admissible += static_cast<std::int64_t>(bucket.size());
+  }
+  BBA_COUNTER_ADD("ransac.bv.admissible_hypotheses", admissible);
   std::vector<Pose2> verified;
   for (const auto& bucket : buckets) {
     for (const RansacCandidate& cand : bucket) {
@@ -354,6 +360,8 @@ VerifiedRansacResult ransacRigid2DVerified(
       }
     }
   }
+  BBA_COUNTER_ADD("ransac.bv.verifier_evaluations",
+                  static_cast<std::int64_t>(verified.size()));
 
   if (best.verifierScore < 0.0) return best;
   best.ransac = refineWithGate(best.ransac.transform, src, dst, prm, gate);

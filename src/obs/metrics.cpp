@@ -1,0 +1,198 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace bba::obs {
+
+namespace {
+std::atomic<MetricsRegistry*> gRegistry{nullptr};
+
+/// Shortest round-trip-ish double formatting that is valid JSON (no inf /
+/// nan: both are clamped to null by callers before reaching here).
+void appendDouble(std::string& out, double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+}  // namespace
+
+double Histogram::upperBound(int i) {
+  BBA_ASSERT(i >= 0 && i < kBuckets);
+  return std::ldexp(1.0, i - 10);  // 2^(i-10)
+}
+
+int Histogram::bucketIndex(double v) {
+  if (!(v > 0.0)) return 0;
+  int e = 0;
+  std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1) -> v <= 2^e
+  const int idx = e + 10;
+  if (idx < 0) return 0;
+  if (idx >= kBuckets) return kBuckets - 1;
+  return idx;
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[static_cast<std::size_t>(bucketIndex(v))];
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return max_;
+}
+
+std::int64_t Histogram::bucketCount(int i) const {
+  BBA_ASSERT(i >= 0 && i < kBuckets);
+  std::lock_guard<std::mutex> lk(m_);
+  return buckets_[static_cast<std::size_t>(i)];
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+  std::string out = "{\"counters\":{";
+  std::lock_guard<std::mutex> lk(m_);
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    appendEscaped(out, name);
+    out += "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    appendEscaped(out, name);
+    out += "\":";
+    appendDouble(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    appendEscaped(out, name);
+    out += "\":";
+    std::lock_guard<std::mutex> hlk(h->m_);
+    out += "{\"count\":" + std::to_string(h->count_);
+    out += ",\"sum\":";
+    appendDouble(out, h->sum_);
+    if (h->count_ > 0) {
+      out += ",\"min\":";
+      appendDouble(out, h->min_);
+      out += ",\"max\":";
+      appendDouble(out, h->max_);
+      out += ",\"mean\":";
+      appendDouble(out, h->sum_ / static_cast<double>(h->count_));
+    }
+    out += ",\"buckets\":[";
+    bool bFirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::int64_t n = h->buckets_[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (!bFirst) out += ',';
+      bFirst = false;
+      out += "{\"le\":";
+      appendDouble(out, Histogram::upperBound(i));
+      out += ",\"n\":" + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  os << out << "\n";
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+void MetricsRegistry::writeJsonFile(const std::string& path) const {
+  std::ofstream f(path);
+  BBA_ASSERT_MSG(f.good(), "cannot open metrics output file: " + path);
+  writeJson(f);
+}
+
+void installMetricsRegistry(MetricsRegistry* r) {
+  gRegistry.store(r, std::memory_order_release);
+}
+
+MetricsRegistry* metricsRegistry() {
+  return gRegistry.load(std::memory_order_relaxed);
+}
+
+}  // namespace bba::obs

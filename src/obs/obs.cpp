@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace bba::obs {
+
+EnvObservability::EnvObservability() {
+  if (const char* p = std::getenv("BBA_TRACE_OUT"); p && *p) {
+    tracePath_ = p;
+    trace_ = std::make_unique<TraceRecorder>();
+    installTraceRecorder(trace_.get());
+  }
+  if (const char* p = std::getenv("BBA_METRICS_OUT"); p && *p) {
+    metricsPath_ = p;
+    metrics_ = std::make_unique<MetricsRegistry>();
+    installMetricsRegistry(metrics_.get());
+  }
+}
+
+EnvObservability::~EnvObservability() {
+  if (trace_) {
+    installTraceRecorder(nullptr);
+    trace_->writeJsonFile(tracePath_);
+  }
+  if (metrics_) {
+    installMetricsRegistry(nullptr);
+    metrics_->writeJsonFile(metricsPath_);
+  }
+}
+
+}  // namespace bba::obs

@@ -1,0 +1,52 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+namespace bba {
+
+const char* toString(RecoveryFailure f) {
+  switch (f) {
+    case RecoveryFailure::None:
+      return "none";
+    case RecoveryFailure::Stage1NoConsensus:
+      return "stage1_no_consensus";
+    case RecoveryFailure::Stage1LowOverlap:
+      return "stage1_low_overlap";
+    case RecoveryFailure::BoxAlignmentDisabled:
+      return "box_alignment_disabled";
+    case RecoveryFailure::Stage2NoConsensus:
+      return "stage2_no_consensus";
+    case RecoveryFailure::Stage2Unbounded:
+      return "stage2_unbounded";
+    case RecoveryFailure::InlierThreshold:
+      return "inlier_threshold";
+  }
+  return "?";
+}
+
+std::string PoseRecoveryReport::toJson() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"ms\":{\"mim\":%.3f,\"keypoints\":%.3f,\"descriptors\":%.3f,"
+      "\"matching\":%.3f,\"ransac_bv\":%.3f,\"icp_polish\":%.3f,"
+      "\"stage2\":%.3f,\"total\":%.3f},"
+      "\"stage1\":{\"keypoints_ego\":%d,\"keypoints_other\":%d,"
+      "\"descriptors_ego\":%d,\"descriptors_other\":%d,"
+      "\"yaw_candidates\":%d,\"descriptor_matches\":%d,"
+      "\"ransac_iterations\":%lld,\"inliers_bv\":%d,\"overlap_score\":%.6f},"
+      "\"stage2\":{\"box_pairs\":%d,\"ransac_iterations\":%lld,"
+      "\"inliers_box\":%d},"
+      "\"outcome\":{\"stage1_ok\":%s,\"stage2_ok\":%s,\"success\":%s,"
+      "\"failure\":\"%s\"}}",
+      msMim, msKeypoints, msDescriptors, msMatching, msRansacBv, msIcpPolish,
+      msStage2, msTotal, keypointsEgo, keypointsOther, descriptorsEgo,
+      descriptorsOther, yawCandidates, descriptorMatches,
+      static_cast<long long>(ransacBvIterations), inliersBv, overlapScore,
+      boxPairs, static_cast<long long>(ransacBoxIterations), inliersBox,
+      stage1Ok ? "true" : "false", stage2Ok ? "true" : "false",
+      success ? "true" : "false", toString(failure));
+  return std::string(buf);
+}
+
+}  // namespace bba

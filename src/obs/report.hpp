@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bba {
+
+/// Why one BBAlign::recover call did not reach the paper's success
+/// criterion (None on success). The causes mirror §V-A's failure analysis:
+/// stage-1 consensus, stage-1 verification, stage-2 consensus, the bounded-
+/// correction guard, and the final inlier-count thresholds.
+enum class RecoveryFailure {
+  None,                  ///< success
+  Stage1NoConsensus,     ///< BV RANSAC found no qualifying hypothesis
+  Stage1LowOverlap,      ///< best hypothesis failed occupancy verification
+  BoxAlignmentDisabled,  ///< stage 2 turned off (Fig. 14 ablation config)
+  Stage2NoConsensus,     ///< box-corner RANSAC found no qualifying model
+  Stage2Unbounded,       ///< correction exceeded the refinement bound
+  InlierThreshold,       ///< both stages ok, Inliers_bv/Inliers_box too low
+};
+
+[[nodiscard]] const char* toString(RecoveryFailure f);
+
+/// Structured per-call account of one pose recovery: where the time went,
+/// how much material each stage had to work with, and why the call
+/// succeeded or failed. Returned alongside the pose (pass a report pointer
+/// to BBAlign::recover) so callers and benches consume these numbers
+/// instead of recomputing them. Filling a report never perturbs the
+/// estimate: poses are byte-identical with and without one.
+struct PoseRecoveryReport {
+  // ---- stage wall-clock, milliseconds (0 between untimed stages) -------
+  double msMim = 0.0;          ///< both BV images through the Log-Gabor bank
+  double msKeypoints = 0.0;    ///< keypoint detection, both images
+  double msDescriptors = 0.0;  ///< all descriptor passes (every yaw cand.)
+  double msMatching = 0.0;     ///< descriptor matching, all yaw candidates
+  double msRansacBv = 0.0;     ///< stage-1 verified RANSAC, all candidates
+  double msIcpPolish = 0.0;    ///< dense BV-ICP polish
+  double msStage2 = 0.0;       ///< box pairing + box-corner RANSAC
+  double msTotal = 0.0;        ///< whole recover() call
+
+  // ---- stage-1 material ------------------------------------------------
+  int keypointsEgo = 0;
+  int keypointsOther = 0;
+  int descriptorsEgo = 0;    ///< keypoints surviving descriptor extraction
+  int descriptorsOther = 0;  ///< same, for the winning yaw candidate
+  int yawCandidates = 0;     ///< global-yaw hypotheses evaluated
+  int descriptorMatches = 0; ///< matches fed to RANSAC (winning candidate)
+  std::int64_t ransacBvIterations = 0;  ///< total across yaw candidates
+  int inliersBv = 0;
+  double overlapScore = 0.0;
+
+  // ---- stage-2 material ------------------------------------------------
+  int boxPairs = 0;
+  std::int64_t ransacBoxIterations = 0;
+  int inliersBox = 0;
+
+  // ---- outcome ---------------------------------------------------------
+  bool stage1Ok = false;
+  bool stage2Ok = false;
+  bool success = false;
+  RecoveryFailure failure = RecoveryFailure::None;
+
+  /// One JSON object with every field above (stable key names).
+  [[nodiscard]] std::string toJson() const;
+};
+
+}  // namespace bba

@@ -1,0 +1,211 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace bba::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> gRecorder{nullptr};
+/// Bumped on every (un)install so per-thread buffer caches invalidate even
+/// when a new recorder reuses a freed recorder's address.
+std::atomic<std::uint64_t> gEpoch{0};
+
+/// Innermost active span name on this thread (for parallel-region
+/// adoption). Maintained only while a recorder is installed.
+thread_local const char* tlsActiveSpan = nullptr;
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct TraceRecorder::ThreadBuf {
+  std::thread::id owner;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceRecorder::Impl {
+  mutable std::mutex m;
+  // unique_ptr per buffer: growth of the outer vector never moves a buffer
+  // another thread is appending to.
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+};
+
+TraceRecorder::TraceRecorder() : impl_(new Impl()) {}
+
+TraceRecorder::~TraceRecorder() {
+  BBA_ASSERT_MSG(gRecorder.load(std::memory_order_relaxed) != this,
+                 "uninstall a TraceRecorder before destroying it");
+  delete impl_;
+}
+
+TraceRecorder::ThreadBuf& TraceRecorder::localBuf() {
+  struct Cache {
+    TraceRecorder* owner = nullptr;
+    std::uint64_t epoch = 0;
+    ThreadBuf* buf = nullptr;
+  };
+  thread_local Cache cache;
+  const std::uint64_t epoch = gEpoch.load(std::memory_order_acquire);
+  if (cache.owner == this && cache.epoch == epoch) return *cache.buf;
+
+  std::lock_guard<std::mutex> lk(impl_->m);
+  const std::thread::id self = std::this_thread::get_id();
+  ThreadBuf* found = nullptr;
+  for (auto& b : impl_->bufs) {
+    if (b->owner == self) {
+      found = b.get();
+      break;
+    }
+  }
+  if (!found) {
+    impl_->bufs.push_back(std::make_unique<ThreadBuf>());
+    found = impl_->bufs.back().get();
+    found->owner = self;
+  }
+  cache = Cache{this, epoch, found};
+  return *found;
+}
+
+std::vector<ExportedEvent> TraceRecorder::events() const {
+  std::vector<ExportedEvent> out;
+  std::lock_guard<std::mutex> lk(impl_->m);
+  for (std::size_t t = 0; t < impl_->bufs.size(); ++t) {
+    for (const TraceEvent& e : impl_->bufs[t]->events) {
+      ExportedEvent x;
+      x.name = e.name;
+      if (e.workerAdopted) x.name += " [worker]";
+      x.tid = static_cast<int>(t);
+      x.startNs = e.startNs;
+      x.durNs = e.durNs;
+      out.push_back(std::move(x));
+    }
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> lk(impl_->m);
+  std::size_t n = 0;
+  for (const auto& b : impl_->bufs) n += b->events.size();
+  return n;
+}
+
+namespace {
+void appendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+}  // namespace
+
+void TraceRecorder::writeJson(std::ostream& os) const {
+  const std::vector<ExportedEvent> evs = events();
+  std::int64_t base = 0;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    if (i == 0 || evs[i].startNs < base) base = evs[i].startNs;
+  }
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const ExportedEvent& e = evs[i];
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    appendEscaped(out, e.name);
+    // Timestamps in microseconds (the format's unit), 3 decimals = ns.
+    std::snprintf(buf, sizeof buf,
+                  "\",\"cat\":\"bba\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  e.tid, static_cast<double>(e.startNs - base) * 1e-3,
+                  static_cast<double>(e.durNs) * 1e-3);
+    out += buf;
+  }
+  out += "]}";
+  os << out << "\n";
+}
+
+std::string TraceRecorder::toJson() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+void TraceRecorder::writeJsonFile(const std::string& path) const {
+  std::ofstream f(path);
+  BBA_ASSERT_MSG(f.good(), "cannot open trace output file: " + path);
+  writeJson(f);
+}
+
+void installTraceRecorder(TraceRecorder* r) {
+  gRecorder.store(r, std::memory_order_release);
+  gEpoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+TraceRecorder* traceRecorder() {
+  return gRecorder.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) : rec_(traceRecorder()) {
+  if (!rec_) return;
+  name_ = name;
+  prevActive_ = tlsActiveSpan;
+  tlsActiveSpan = name;
+  start_ = nowNs();
+}
+
+Span::~Span() {
+  if (!rec_) return;
+  const std::int64_t end = nowNs();
+  rec_->localBuf().events.push_back(
+      TraceEvent{name_, start_, end - start_, false});
+  tlsActiveSpan = prevActive_;
+}
+
+ParallelContext captureParallelContext() {
+  ParallelContext ctx;
+  ctx.recorder = traceRecorder();
+  if (ctx.recorder) ctx.parentSpan = tlsActiveSpan;
+  return ctx;
+}
+
+WorkerScope::WorkerScope(const ParallelContext& ctx)
+    : rec_(ctx.parentSpan ? ctx.recorder : nullptr) {
+  if (!rec_) return;
+  name_ = ctx.parentSpan;
+  prevActive_ = tlsActiveSpan;
+  tlsActiveSpan = name_;
+  start_ = nowNs();
+}
+
+WorkerScope::~WorkerScope() {
+  if (!rec_) return;
+  const std::int64_t end = nowNs();
+  rec_->localBuf().events.push_back(
+      TraceEvent{name_, start_, end - start_, true});
+  tlsActiveSpan = prevActive_;
+}
+
+}  // namespace bba::obs

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace bba {
 
@@ -101,6 +102,7 @@ void fftRows(ComplexImage& img, bool inverse) {
 }  // namespace
 
 void fft2d(ComplexImage& img, bool inverse) {
+  BBA_SPAN("fft2d");
   const int w = img.width();
   const int h = img.height();
   BBA_ASSERT_MSG(isPowerOfTwo(w) && isPowerOfTwo(h),

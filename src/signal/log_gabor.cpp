@@ -5,12 +5,14 @@
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace bba {
 
 LogGaborBank::LogGaborBank(int width, int height,
                            const LogGaborParams& params)
     : w_(width), h_(height), params_(params) {
+  BBA_SPAN("log-gabor-bank");
   BBA_ASSERT_MSG(isPowerOfTwo(width) && isPowerOfTwo(height),
                  "LogGaborBank requires power-of-two dimensions");
   BBA_ASSERT(params.numScales >= 1 && params.numOrientations >= 2);
@@ -80,6 +82,7 @@ const ImageF& LogGaborBank::filter(int s, int o) const {
 
 std::vector<ImageF> LogGaborBank::orientationAmplitudes(
     const ImageF& img) const {
+  BBA_SPAN("log-gabor");
   BBA_ASSERT_MSG(img.width() == w_ && img.height() == h_,
                  "image dimensions must match the bank");
 

@@ -9,6 +9,11 @@ count present.
 Output: {"stages": {stage: {"serial_ns": .., "threaded_ns": .., "speedup": ..}}}
 plus host metadata, so successive PRs can diff per-stage ns/op without
 parsing benchmark internals.
+
+An optional third argument names a metrics-registry JSON (the
+BBA_METRICS_OUT file the bench run wrote); its counters and histogram
+summaries are folded in under "metrics" so one BENCH file carries both
+timings and work counts.
 """
 import json
 import os
@@ -26,11 +31,29 @@ STAGE_NAMES = {
 }
 
 
+def distill_metrics(metrics_path):
+    """Counters verbatim; histograms as count/mean/min/max (buckets dropped)."""
+    with open(metrics_path) as f:
+        metrics = json.load(f)
+    out = {"counters": metrics.get("counters", {})}
+    hists = {}
+    for name, h in metrics.get("histograms", {}).items():
+        hists[name] = {
+            k: h.get(k) for k in ("count", "mean", "min", "max") if k in h
+        }
+    out["histograms"] = hists
+    return out
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} raw_benchmark.json out.json", file=sys.stderr)
+    if len(sys.argv) not in (3, 4):
+        print(
+            f"usage: {sys.argv[0]} raw_benchmark.json out.json [metrics.json]",
+            file=sys.stderr,
+        )
         return 2
     raw_path, out_path = sys.argv[1], sys.argv[2]
+    metrics_path = sys.argv[3] if len(sys.argv) == 4 else None
     with open(raw_path) as f:
         raw = json.load(f)
 
@@ -76,6 +99,8 @@ def main() -> int:
         ),
         "stages": stages,
     }
+    if metrics_path is not None:
+        out["metrics"] = distill_metrics(metrics_path)
     with open(out_path, "w") as f:
         json.dump(out, f, indent=2)
         f.write("\n")

@@ -11,7 +11,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DBBA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test features_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test -j"$(nproc)"
 
 # Force the pool on even when the host reports a single CPU: TSan finds
 # races through happens-before analysis, not timing, so timesliced worker
@@ -21,4 +21,5 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
 "$BUILD_DIR/tests/parallel_test"
 "$BUILD_DIR/tests/features_test"
+"$BUILD_DIR/tests/obs_test"
 echo "tsan_check: no data races detected"
