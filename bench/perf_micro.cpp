@@ -36,12 +36,15 @@ void threadArgs(benchmark::internal::Benchmark* b) {
   b->ArgName("threads")->Arg(1)->Arg(threadedArg());
 }
 
+/// A frame pair BB-Align is known to recover successfully with Rng(3)
+/// (pair 0 of the cooperative_detection example's dataset; same fixture
+/// as tests/obs_test.cpp). The previous fixture (seed=77, sep 30-40)
+/// always failed stage 2 (inliersBox=4 < 6), so BM_RecoverPose was
+/// timing the failure path.
 const FramePair& fixturePair() {
   static const FramePair pair = [] {
     DatasetConfig cfg;
-    cfg.seed = 77;
-    cfg.minSeparation = 30.0;
-    cfg.maxSeparation = 40.0;
+    cfg.seed = 4242;
     return *DatasetGenerator(cfg).generatePair(0);
   }();
   return pair;
@@ -108,8 +111,10 @@ void BM_RecoverPose(benchmark::State& state) {
       aligner.makeCarData(pair.egoCloud, pair.egoDets);
   const CarPerceptionData other =
       aligner.makeCarData(pair.otherCloud, pair.otherDets);
-  Rng rng(3);
   for (auto _ : state) {
+    // Fresh Rng(3) per iteration: every measured recover() walks the
+    // known-success path, not whatever a drifted RANSAC stream finds.
+    Rng rng(3);
     benchmark::DoNotOptimize(aligner.recover(other, ego, rng));
   }
 }

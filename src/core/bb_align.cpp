@@ -335,7 +335,8 @@ void recordRecoveryMetrics(const PoseRecoveryReport& rep) {
 
 PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
                                     const CarPerceptionData& ego, Rng& rng,
-                                    PoseRecoveryReport* report) const {
+                                    PoseRecoveryReport* report,
+                                    const RecoveryHints* hints) const {
   BBA_SPAN("recover");
   PoseRecoveryResult result;
   PoseRecoveryReport rep;
@@ -371,8 +372,13 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
   const bool fixedMode =
       cfg_.descriptor.rotationMode == RotationMode::FixedAngle;
   if (fixedMode) {
-    const std::vector<double> peaks =
+    std::vector<double> peaks =
         globalYawCandidates(mimEgo, mimOther, cfg_.yawCandidates);
+    // A caller-side pose prior (streaming tracker prediction) becomes the
+    // first candidate evaluated; the histogram peaks still follow, so a
+    // wrong prior costs one extra candidate but can never hide the
+    // histogram-derived hypotheses.
+    if (hints) peaks.insert(peaks.begin(), hints->posePrior.theta);
     yawCands.clear();
     for (const double peak : peaks) {
       for (int k = -cfg_.yawSpreadSteps; k <= cfg_.yawSpreadSteps; ++k) {

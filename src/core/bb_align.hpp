@@ -151,6 +151,18 @@ struct PoseRecoveryResult {
   bool success = false;
 };
 
+/// Optional caller-side priors for one recover() call. A streaming tracker
+/// (src/stream) supplies its constant-velocity motion prediction here so
+/// the global-yaw search starts from the predicted rotation. Hints only
+/// *seed* the search — an extra yaw candidate, evaluated first — they
+/// never gate, replace or bias the measurement itself: with no hint the
+/// same candidate set is simply discovered (or not) from the orientation
+/// histograms alone.
+struct RecoveryHints {
+  /// Predicted other -> ego transform.
+  Pose2 posePrior;
+};
+
 /// The BB-Align two-stage pose recovery framework (Algorithm 1).
 ///
 /// Typical use:
@@ -178,9 +190,13 @@ class BBAlign {
   /// wall times, keypoint/match/inlier counts, RANSAC iteration totals and
   /// the failure cause — so callers consume these numbers instead of
   /// recomputing them. Requesting a report never changes the estimate.
+  ///
+  /// `hints` (optional) seeds the global-yaw search with a caller-side
+  /// pose prior (see RecoveryHints).
   [[nodiscard]] PoseRecoveryResult recover(
       const CarPerceptionData& other, const CarPerceptionData& ego, Rng& rng,
-      PoseRecoveryReport* report = nullptr) const;
+      PoseRecoveryReport* report = nullptr,
+      const RecoveryHints* hints = nullptr) const;
 
   /// Stage-1-internal product: keypoints + descriptors of one BV image.
   /// `fixedAngle` applies when descriptor.rotationMode == FixedAngle.

@@ -1,0 +1,113 @@
+#include "dataset/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "geom/vec.hpp"
+
+namespace bba {
+
+namespace {
+
+/// Decorrelated deterministic stream per (seed, frame, channel): the same
+/// scheme generatePair uses for (seed, index, attempt), with a third salt
+/// so the fault channels of one frame draw from independent streams.
+Rng frameRng(std::uint64_t seed, int frameIndex, std::uint64_t channel) {
+  return Rng(seed ^
+             (static_cast<std::uint64_t>(frameIndex) * 0x9E3779B97F4A7C15ULL) ^
+             (channel * 0xC2B2AE3D27D4EB4FULL));
+}
+
+constexpr std::uint64_t kChannelLink = 1;
+constexpr std::uint64_t kChannelSector = 2;
+constexpr std::uint64_t kChannelBoxes = 3;
+
+}  // namespace
+
+bool FaultConfig::any() const {
+  return frameDropProb > 0.0 || latencyProb > 0.0 || clockSkewSigma > 0.0 ||
+         boxDropProb > 0.0 || maxBoxes >= 0 || boxCenterNoiseSigma > 0.0 ||
+         boxYawNoiseSigmaDeg > 0.0 || sectorDropProb > 0.0;
+}
+
+FaultInjector::FaultInjector(FaultConfig config) : cfg_(config) {
+  BBA_ASSERT(cfg_.maxLatencyFrames >= 1);
+  BBA_ASSERT(cfg_.sectorWidthDeg > 0.0);
+}
+
+FrameFaults FaultInjector::frameFaults(int frameIndex) const {
+  FrameFaults f;
+  // Link-level faults: drop, latency, clock skew. The draws happen in a
+  // fixed order regardless of which probabilities are zero, so enabling
+  // one channel never re-randomizes another.
+  Rng link = frameRng(cfg_.seed, frameIndex, kChannelLink);
+  const double dropDraw = link.uniform(0.0, 1.0);
+  const double latencyDraw = link.uniform(0.0, 1.0);
+  const int lagDraw = link.uniformInt(1, cfg_.maxLatencyFrames);
+  const double skewDraw = link.normal(0.0, 1.0);
+  f.dropped = dropDraw < cfg_.frameDropProb;
+  if (latencyDraw < cfg_.latencyProb) {
+    f.lagFrames = std::min(lagDraw, frameIndex);  // frame 0 has no past
+  }
+  f.clockSkew = skewDraw * cfg_.clockSkewSigma;
+
+  Rng sector = frameRng(cfg_.seed, frameIndex, kChannelSector);
+  const double sectorDraw = sector.uniform(0.0, 1.0);
+  const double centerDraw = sector.uniform(-3.14159265358979323846,
+                                           3.14159265358979323846);
+  if (sectorDraw < cfg_.sectorDropProb) {
+    f.sectorDropped = true;
+    f.sectorCenterRad = centerDraw;
+    f.sectorHalfWidthRad = 0.5 * cfg_.sectorWidthDeg * kDegToRad;
+  }
+  return f;
+}
+
+void FaultInjector::applyCloudFaults(PointCloud& cloud,
+                                     const FrameFaults& faults) const {
+  if (!faults.sectorDropped) return;
+  auto inSector = [&faults](const LidarPoint& lp) {
+    const double az = std::atan2(lp.p.y, lp.p.x);
+    return angularDistance(az, faults.sectorCenterRad) <=
+           faults.sectorHalfWidthRad;
+  };
+  cloud.points.erase(
+      std::remove_if(cloud.points.begin(), cloud.points.end(), inSector),
+      cloud.points.end());
+}
+
+void FaultInjector::applyBoxFaults(Detections& dets, int frameIndex) const {
+  Rng rng = frameRng(cfg_.seed, frameIndex, kChannelBoxes);
+  // Truncation: independent per-box drops first, then the hard cap on the
+  // strongest-score survivors (stable order, so the cap is deterministic).
+  if (cfg_.boxDropProb > 0.0) {
+    Detections kept;
+    kept.reserve(dets.size());
+    for (const Detection& d : dets) {
+      if (rng.uniform(0.0, 1.0) >= cfg_.boxDropProb) kept.push_back(d);
+    }
+    dets = std::move(kept);
+  }
+  if (cfg_.maxBoxes >= 0 &&
+      dets.size() > static_cast<std::size_t>(cfg_.maxBoxes)) {
+    std::stable_sort(dets.begin(), dets.end(),
+                     [](const Detection& a, const Detection& b) {
+                       return a.score > b.score;
+                     });
+    dets.resize(static_cast<std::size_t>(cfg_.maxBoxes));
+  }
+  // Corner noise: perturb center and yaw (which moves every corner of the
+  // oriented box) on top of the detector's own error model.
+  if (cfg_.boxCenterNoiseSigma > 0.0 || cfg_.boxYawNoiseSigmaDeg > 0.0) {
+    for (Detection& d : dets) {
+      d.box.center.x += rng.normal(0.0, cfg_.boxCenterNoiseSigma);
+      d.box.center.y += rng.normal(0.0, cfg_.boxCenterNoiseSigma);
+      d.box.yaw = wrapAngle(
+          d.box.yaw + rng.normal(0.0, cfg_.boxYawNoiseSigmaDeg * kDegToRad));
+    }
+  }
+}
+
+}  // namespace bba

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+
+#include "detect/detection.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace bba {
+
+/// Fault model of the V2V link and the remote (cooperating) car's sensing
+/// chain. BB-Align's per-frame evaluation assumes every frame pair arrives
+/// intact; a deployed system streams over a lossy radio link with an
+/// independently clocked remote car. This config makes each of those
+/// failure modes injectable — deterministically, per frame — so the
+/// streaming layer's degradation ladder is exercisable from tests and the
+/// `bench/stream_robustness` sweep.
+///
+/// All faults apply to the *remote* side only: the ego car's own sensing
+/// never traverses the link.
+struct FaultConfig {
+  /// Seed of the fault stream. Independent of the scene seed so the same
+  /// scenario can be replayed under different fault realizations.
+  std::uint64_t seed = 0xFA117;
+
+  /// Probability the whole remote payload of a frame is lost (radio drop,
+  /// deadline miss). A dropped frame delivers nothing.
+  double frameDropProb = 0.0;
+
+  /// Probability a delivered payload is stale: the remote car's data is
+  /// from `1..maxLatencyFrames` frames ago (queueing / retransmission
+  /// latency). The ground-truth pose of a stale payload relates the remote
+  /// car *at its capture time* to the ego car now.
+  double latencyProb = 0.0;
+  int maxLatencyFrames = 2;
+
+  /// Per-frame clock skew of the remote car (seconds, Gaussian): its sweep
+  /// ends at `t + skew` instead of `t` — the two cars' clocks are never
+  /// perfectly disciplined.
+  double clockSkewSigma = 0.0;
+
+  /// Box-set truncation: each remote detection is independently dropped
+  /// with this probability (payload size limits, partial serialization).
+  double boxDropProb = 0.0;
+  /// Hard cap on transmitted remote boxes, strongest-score first
+  /// (-1 = unlimited).
+  int maxBoxes = -1;
+
+  /// Corner noise on the remote boxes: additional Gaussian center noise
+  /// (meters, per axis) and yaw noise (degrees) on top of the detector's
+  /// own error model — a degraded or miscalibrated remote detector.
+  double boxCenterNoiseSigma = 0.0;
+  double boxYawNoiseSigmaDeg = 0.0;
+
+  /// Lidar sector dropout: with this probability per frame, one azimuth
+  /// sector of the remote sweep (width `sectorWidthDeg`, center uniform)
+  /// returns nothing — occlusion by the remote car's own body, a blinded
+  /// stare region, or a partial sensor fault.
+  double sectorDropProb = 0.0;
+  double sectorWidthDeg = 60.0;
+
+  /// True when any fault channel is active.
+  [[nodiscard]] bool any() const;
+};
+
+/// The fault realization of one frame (pure function of (seed, frame)).
+struct FrameFaults {
+  bool dropped = false;
+  int lagFrames = 0;         ///< payload is from frame `index - lagFrames`
+  double clockSkew = 0.0;    ///< seconds added to the remote sweep end
+  bool sectorDropped = false;
+  double sectorCenterRad = 0.0;
+  double sectorHalfWidthRad = 0.0;
+};
+
+/// Deterministic per-frame fault sampler + payload mutators. Every output
+/// is a pure function of (config seed, frame index): two injectors with
+/// the same config produce byte-identical faults in any call order.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+  /// Sample the fault realization of frame `frameIndex`.
+  [[nodiscard]] FrameFaults frameFaults(int frameIndex) const;
+
+  /// Apply the cloud-side faults (sector dropout) of `faults` to a remote
+  /// sweep, in place.
+  void applyCloudFaults(PointCloud& cloud, const FrameFaults& faults) const;
+
+  /// Apply the box-side faults (truncation + corner noise) of frame
+  /// `frameIndex` to the remote detections, in place. Deterministic given
+  /// (config seed, frameIndex, dets.size()).
+  void applyBoxFaults(Detections& dets, int frameIndex) const;
+
+ private:
+  FaultConfig cfg_;
+};
+
+}  // namespace bba

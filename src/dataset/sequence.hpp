@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataset/fault.hpp"
+#include "detect/simulated_detector.hpp"
+#include "lidar/lidar_model.hpp"
+#include "sim/scenario.hpp"
+
+namespace bba {
+
+/// Configuration of a temporal V2V stream: one procedural scenario played
+/// forward, scanned by both cars every `framePeriod` seconds, with the
+/// remote car's payload passed through the fault model. This is the
+/// streaming counterpart of `DatasetConfig` (independent per-frame pairs):
+/// consecutive frames share the world, so the relative pose evolves
+/// smoothly and a tracker can exploit temporal coherence.
+struct SequenceConfig {
+  /// Seed of the scenario and of all per-frame sensor/detector noise.
+  std::uint64_t seed = 42;
+  /// Number of frames in the stream.
+  int frames = 20;
+  /// Seconds between consecutive sweep ends (10 Hz lidar default).
+  double framePeriod = 0.1;
+
+  /// The scenario played forward (separation, traffic, curvature, ...).
+  ScenarioConfig scenario;
+
+  LidarConfig egoLidar = LidarConfig::hdl32();
+  LidarConfig otherLidar = LidarConfig::vlp16();
+  DetectorProfile detector = DetectorProfile::coBEVT();
+  bool motionDistortion = true;
+
+  /// Faults applied to the remote side of every frame (default: none).
+  FaultConfig faults;
+};
+
+/// One frame of the stream, as the ego car experiences it: its own fresh
+/// sensing plus whatever the V2V link delivered from the remote car.
+struct StreamFrame {
+  int frameIndex = 0;
+  /// Sweep-end time of the ego sensing (frameIndex * framePeriod).
+  double time = 0.0;
+
+  // ---- ego side (local, never faulted) --------------------------------
+  PointCloud egoCloud;
+  Detections egoDets;
+
+  // ---- remote payload, after the fault model --------------------------
+  /// False when the frame was dropped by the link; the remote fields below
+  /// are then empty and `gtDeliveredOtherToEgo` is meaningless.
+  bool remoteReceived = true;
+  /// Latency of the delivered payload in frames (0 = fresh).
+  int remoteLagFrames = 0;
+  /// Clock skew of the remote sweep end (seconds).
+  double remoteClockSkew = 0.0;
+  PointCloud otherCloud;
+  Detections otherDets;
+
+  // ---- ground truth ---------------------------------------------------
+  /// Pose of the *delivered* remote payload's frame relative to the ego
+  /// car now: remote car at its capture time -> ego car at `time`. This is
+  /// what a pose-recovery estimate on this frame should match (stale
+  /// payloads included).
+  Pose2 gtDeliveredOtherToEgo;
+  /// Zero-fault reference: remote car at `time` -> ego car at `time`.
+  Pose2 gtOtherToEgo;
+};
+
+/// Deterministic stream generator: frame `k` of a given config is always
+/// the same scene, scans, detections and faults, independent of the order
+/// frames are requested in.
+class SequenceGenerator {
+ public:
+  explicit SequenceGenerator(SequenceConfig config);
+
+  [[nodiscard]] const SequenceConfig& config() const { return cfg_; }
+  [[nodiscard]] const World& world() const { return world_; }
+
+  /// Generate frame #k (0-based, k < config().frames).
+  [[nodiscard]] StreamFrame frame(int k) const;
+
+  /// Generate the whole stream.
+  [[nodiscard]] std::vector<StreamFrame> generate() const;
+
+  /// Ground-truth relative pose: remote car at `tOther` -> ego car at
+  /// `tEgo` (both in scenario time).
+  [[nodiscard]] Pose2 gtOtherToEgoAt(double tEgo, double tOther) const;
+
+ private:
+  SequenceConfig cfg_;
+  World world_;
+  FaultInjector injector_;
+};
+
+}  // namespace bba

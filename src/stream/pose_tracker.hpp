@@ -1,0 +1,191 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "core/bb_align.hpp"
+#include "dataset/sequence.hpp"
+
+namespace bba {
+
+/// How one streamed frame's reported pose was obtained — the rungs of the
+/// degradation ladder, best first.
+enum class TrackerOutcome {
+  Recovered,         ///< fresh BB-Align measurement accepted (rung 0)
+  RecoveredRelaxed,  ///< relaxed-parameter retry accepted (rung 1)
+  Extrapolated,      ///< constant-velocity fallback (rung 2)
+  TrackLost,         ///< miss budget exhausted this frame; track cleared (rung 3)
+  Bootstrapping,     ///< no track yet and no measurement — no pose to report
+};
+
+[[nodiscard]] const char* toString(TrackerOutcome o);
+
+/// Tracker configuration. The defaults assume a 10 Hz frame period and the
+/// paper-default aligner; the gates are sized to the physics (two cars at
+/// urban speeds move well under a meter per frame relative to each other,
+/// while a wrong BB-Align lock is typically off by several meters).
+struct PoseTrackerConfig {
+  /// The primary (rung-0) aligner configuration.
+  BBAlignConfig aligner;
+  /// Override for the rung-1 relaxed aligner; when unset it is derived
+  /// from `aligner` via relaxedRecoveryConfig().
+  std::optional<BBAlignConfig> relaxedAligner;
+  /// Run the rung-1 relaxed retry at all (it costs a second recover()).
+  bool enableRelaxedRetry = true;
+
+  /// Accepted poses kept for prediction (>= 2 enables velocity).
+  int historySize = 4;
+
+  /// Innovation gates: a fresh measurement is accepted only if it deviates
+  /// from the constant-velocity prediction by less than these. Both scale
+  /// up by `gateGrowthPerMiss` per consecutive miss, so a track that has
+  /// been coasting can re-capture a drifted target.
+  double maxTranslationInnovation = 3.0;   ///< meters
+  double maxRotationInnovationDeg = 12.0;  ///< degrees
+  double gateGrowthPerMiss = 0.5;
+
+  /// Confidence of a rung-1 (relaxed) acceptance; rung 0 reports 1.0.
+  double relaxedConfidence = 0.8;
+  /// Per-coasted-frame multiplicative confidence decay of rung 2.
+  double confidenceDecay = 0.7;
+  /// Confidence floor of any reported pose.
+  double minConfidence = 0.05;
+
+  /// Consecutive misses (gate rejections, failed recoveries or dropped
+  /// frames) tolerated before the track is declared lost and the tracker
+  /// re-bootstraps from scratch.
+  int maxConsecutiveMisses = 4;
+};
+
+/// Relaxed-parameter variant of an aligner config for the rung-1 retry:
+/// wider matching (one more candidate per keypoint), looser RANSAC inlier
+/// thresholds and lower success bars. On its own this config would accept
+/// poses the primary rejects for good reason — the tracker only ever uses
+/// it *behind the innovation gate*, where the motion prediction supplies
+/// the trust the lowered thresholds gave up.
+[[nodiscard]] BBAlignConfig relaxedRecoveryConfig(const BBAlignConfig& base);
+
+/// Constant-velocity extrapolation in (x, y, theta): the per-frame finite
+/// difference between (poseA, frameA) and (poseB, frameB) carried forward
+/// to `targetFrame`. With frameA == frameB the pose is held.
+[[nodiscard]] Pose2 extrapolatePose(const Pose2& poseA, int frameA,
+                                    const Pose2& poseB, int frameB,
+                                    int targetFrame);
+
+/// Per-frame account of one tracker step: the ladder rung taken, the
+/// prediction and innovation that drove the decision, and the full
+/// PoseRecoveryReport(s) of the underlying recover() call(s) — this is the
+/// streaming extension of the per-call report.
+struct TrackerReport {
+  int frameIndex = 0;
+  TrackerOutcome outcome = TrackerOutcome::Bootstrapping;
+  double confidence = 0.0;
+  bool remoteReceived = true;    ///< false for a coasted (dropped) frame
+
+  bool predictionAvailable = false;
+  Pose2 prediction;
+  /// Innovation of the accepted-or-rejected *primary* measurement against
+  /// the prediction (0 when either side is missing).
+  double innovationTranslation = 0.0;
+  double innovationRotationDeg = 0.0;
+  /// The primary measurement succeeded but fell outside the gate.
+  bool gateRejected = false;
+
+  int consecutiveMisses = 0;
+  bool trackLostThisFrame = false;
+  bool rebootstrapped = false;  ///< this frame re-locked after a lost track
+
+  /// Rung-0 recover() account (valid when remoteReceived).
+  PoseRecoveryReport recovery;
+  /// Rung-1 relaxed recover() account (valid when relaxedAttempted).
+  bool relaxedAttempted = false;
+  PoseRecoveryReport relaxedRecovery;
+
+  /// One JSON object with every field above (stable key names); embeds
+  /// the recover() reports under "recovery" / "relaxedRecovery".
+  [[nodiscard]] std::string toJson() const;
+};
+
+/// The pose a tracker reports for one frame.
+struct TrackerResult {
+  /// False only while bootstrapping (no measurement ever accepted and the
+  /// current frame did not produce one): there is no pose to report.
+  bool poseValid = false;
+  Pose2 pose;                ///< delivered-payload other -> ego
+  Pose3 pose3D;              ///< Eq. 1 lift of `pose`
+  double confidence = 0.0;   ///< 1.0 fresh ... minConfidence stale
+  TrackerOutcome outcome = TrackerOutcome::Bootstrapping;
+};
+
+/// Stateful streaming wrapper around BBAlign for a sequence of frame
+/// pairs: keeps a short history of accepted poses, predicts the next
+/// relative pose by constant-velocity extrapolation, gates each fresh
+/// measurement against the prediction, and on failure walks the
+/// degradation ladder — (1) relaxed-parameter retry seeded from the
+/// prediction, (2) extrapolated pose with decayed confidence,
+/// (3) track-lost + re-bootstrap after too many consecutive misses.
+///
+/// Every decision is serial and every underlying recover() call is
+/// thread-count invariant, so tracker outputs are byte-identical at any
+/// BBA_THREADS (asserted by tests/stream_test.cpp).
+class PoseTracker {
+ public:
+  explicit PoseTracker(PoseTrackerConfig config = {});
+
+  [[nodiscard]] const PoseTrackerConfig& config() const { return cfg_; }
+
+  /// Process one received frame payload. `rng` drives the RANSAC sampling
+  /// of the underlying recover() call(s).
+  TrackerResult update(const CarPerceptionData& other,
+                       const CarPerceptionData& ego, Rng& rng,
+                       TrackerReport* report = nullptr);
+
+  /// Process one frame whose remote payload never arrived (link drop):
+  /// advances time and walks straight to rung 2 of the ladder.
+  TrackerResult coast(TrackerReport* report = nullptr);
+
+  /// Convenience driver for dataset streams: builds the per-car payloads
+  /// with the primary aligner and dispatches to update() or coast().
+  TrackerResult processFrame(const StreamFrame& frame, Rng& rng,
+                             TrackerReport* report = nullptr);
+
+  /// Inject an externally trusted pose (e.g. a one-off GPS fix or a V2X
+  /// handshake) as if it were an accepted measurement: initializes or
+  /// steadies the track without running recovery.
+  void acceptExternalPose(const Pose2& pose);
+
+  /// Constant-velocity prediction for the *next* frame, when a track
+  /// exists.
+  [[nodiscard]] std::optional<Pose2> predictNext() const;
+
+  /// True once at least one pose has been accepted and the track has not
+  /// been lost since.
+  [[nodiscard]] bool hasTrack() const { return !history_.empty(); }
+  [[nodiscard]] int consecutiveMisses() const { return misses_; }
+  [[nodiscard]] int framesProcessed() const { return frame_; }
+
+  /// Forget everything (manual re-bootstrap).
+  void reset();
+
+ private:
+  struct Accepted {
+    int frame = 0;
+    Pose2 pose;
+  };
+
+  [[nodiscard]] std::optional<Pose2> predictAt(int frame) const;
+  void accept(int frame, const Pose2& pose);
+  TrackerResult miss(int frame, const std::optional<Pose2>& prediction,
+                     TrackerReport& rep);
+
+  PoseTrackerConfig cfg_;
+  BBAlign primary_;
+  BBAlign relaxed_;
+  std::deque<Accepted> history_;
+  int frame_ = 0;    ///< frames processed so far (next frame index)
+  int misses_ = 0;   ///< consecutive misses
+  bool lostSinceAccept_ = false;  ///< a track was lost; next lock is a re-bootstrap
+};
+
+}  // namespace bba

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Docs-health gate (no network, no deps).
+
+1. Markdown link check: every relative link in the checked documents must
+   point at an existing file, and a ``#fragment`` into a Markdown file
+   must match a heading in that file (GitHub slug rules).
+2. Taxonomy gate: every ``RecoveryFailure`` enumerator (parsed from
+   src/obs/report.hpp) and every ``stream.*`` metric name (parsed from
+   src/stream/pose_tracker.cpp) must appear somewhere in the checked
+   documents — the docs may not silently fall behind the code.
+
+Exit code 0 when healthy; prints every violation otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOCS = [
+    REPO / "README.md",
+    REPO / "DESIGN.md",
+    REPO / "EXPERIMENTS.md",
+    REPO / "docs" / "ARCHITECTURE.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(md_path: Path) -> set:
+    slugs = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = re.match(r"^#{1,6}\s+(.*)$", line)
+        if m:
+            slugs.add(github_slug(m.group(1)))
+    return slugs
+
+
+def check_links(doc: Path, errors: list) -> None:
+    in_fence = False
+    for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{doc.relative_to(REPO)}:{lineno}: "
+                                  f"broken link '{target}' "
+                                  f"({resolved} does not exist)")
+                    continue
+            else:
+                resolved = doc
+            if fragment and resolved.suffix == ".md":
+                if fragment not in heading_slugs(resolved):
+                    errors.append(f"{doc.relative_to(REPO)}:{lineno}: "
+                                  f"link '{target}' names anchor "
+                                  f"'#{fragment}' not found in "
+                                  f"{resolved.relative_to(REPO)}")
+
+
+def recovery_failure_enumerators() -> list:
+    """Enumerator names of RecoveryFailure plus their JSON string forms."""
+    header = (REPO / "src" / "obs" / "report.hpp").read_text(encoding="utf-8")
+    m = re.search(r"enum class RecoveryFailure \{(.*?)\};", header, re.S)
+    if not m:
+        sys.exit("check_docs: cannot find RecoveryFailure in report.hpp")
+    names = re.findall(r"^\s*(\w+),", m.group(1), re.M)
+    source = (REPO / "src" / "obs" / "report.cpp").read_text(encoding="utf-8")
+    strings = re.findall(
+        r"case RecoveryFailure::\w+:\s*return \"(\w+)\";", source)
+    return names + strings
+
+
+def stream_metric_names() -> list:
+    source = (REPO / "src" / "stream" / "pose_tracker.cpp").read_text(
+        encoding="utf-8")
+    return sorted(set(re.findall(r"\"(stream\.\w+)\"", source)))
+
+
+def main() -> int:
+    errors = []
+    corpus = ""
+    for doc in DOCS:
+        if not doc.exists():
+            errors.append(f"missing required document: {doc.relative_to(REPO)}")
+            continue
+        corpus += doc.read_text(encoding="utf-8")
+        check_links(doc, errors)
+
+    for name in recovery_failure_enumerators():
+        if name not in corpus:
+            errors.append(
+                f"RecoveryFailure value '{name}' is undocumented "
+                f"(not found in any checked document)")
+    for name in stream_metric_names():
+        if name not in corpus:
+            errors.append(
+                f"stream metric '{name}' is undocumented "
+                f"(not found in any checked document)")
+
+    if errors:
+        print("docs-health: FAILED")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"docs-health: OK ({len(DOCS)} documents, "
+          f"{len(recovery_failure_enumerators())} taxonomy values, "
+          f"{len(stream_metric_names())} stream metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DBBA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test -j"$(nproc)"
 
 # Force the pool on even when the host reports a single CPU: TSan finds
 # races through happens-before analysis, not timing, so timesliced worker
@@ -22,4 +22,9 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/parallel_test"
 "$BUILD_DIR/tests/features_test"
 "$BUILD_DIR/tests/obs_test"
+# The tracker drives recover() through the pool too; the heavyweight
+# pinned-scenario suites are skipped under TSan (they re-cover the same
+# code paths many times over — a race would already show here).
+"$BUILD_DIR/tests/stream_test" \
+  --gtest_filter='FaultInjector.*:SequenceGenerator.*:PoseTracker.*:PoseTrackerStream.TrackLossThenRebootstrap'
 echo "tsan_check: no data races detected"
