@@ -23,13 +23,15 @@ Rng frameRng(std::uint64_t seed, int frameIndex, std::uint64_t channel) {
 constexpr std::uint64_t kChannelLink = 1;
 constexpr std::uint64_t kChannelSector = 2;
 constexpr std::uint64_t kChannelBoxes = 3;
+constexpr std::uint64_t kChannelPayload = 4;
 
 }  // namespace
 
 bool FaultConfig::any() const {
   return frameDropProb > 0.0 || latencyProb > 0.0 || clockSkewSigma > 0.0 ||
          boxDropProb > 0.0 || maxBoxes >= 0 || boxCenterNoiseSigma > 0.0 ||
-         boxYawNoiseSigmaDeg > 0.0 || sectorDropProb > 0.0;
+         boxYawNoiseSigmaDeg > 0.0 || sectorDropProb > 0.0 ||
+         payloadBitFlipProb > 0.0 || payloadTruncateProb > 0.0;
 }
 
 FaultInjector::FaultInjector(FaultConfig config) : cfg_(config) {
@@ -107,6 +109,32 @@ void FaultInjector::applyBoxFaults(Detections& dets, int frameIndex) const {
       d.box.yaw = wrapAngle(
           d.box.yaw + rng.normal(0.0, cfg_.boxYawNoiseSigmaDeg * kDegToRad));
     }
+  }
+}
+
+void FaultInjector::applyPayloadFaults(std::vector<std::uint8_t>& bytes,
+                                       int frameIndex) const {
+  if (bytes.empty()) return;
+  Rng rng = frameRng(cfg_.seed, frameIndex, kChannelPayload);
+  // Fixed draw order (flip gate, truncate gate, truncate fraction) so
+  // enabling one sub-channel never re-randomizes the other.
+  const double flipDraw = rng.uniform(0.0, 1.0);
+  const double truncDraw = rng.uniform(0.0, 1.0);
+  const double truncFrac = rng.uniform(0.0, 1.0);
+  if (flipDraw < cfg_.payloadBitFlipProb) {
+    for (int i = 0; i < cfg_.payloadBitFlips; ++i) {
+      const int bit =
+          rng.uniformInt(0, static_cast<int>(bytes.size()) * 8 - 1);
+      bytes[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  if (truncDraw < cfg_.payloadTruncateProb) {
+    // Cut anywhere in [0, size): even losing a single trailing byte must
+    // be caught (by frame length / CRC), and an empty payload is the
+    // degenerate extreme.
+    bytes.resize(static_cast<std::size_t>(
+        truncFrac * static_cast<double>(bytes.size())));
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "detect/detection.hpp"
 #include "pointcloud/point_cloud.hpp"
@@ -58,6 +59,18 @@ struct FaultConfig {
   double sectorDropProb = 0.0;
   double sectorWidthDeg = 60.0;
 
+  /// Payload corruption: with this probability per frame, the delivered
+  /// *encoded* payload (the wire bytes, not the decoded content) has
+  /// `payloadBitFlips` random bits flipped — radio noise the link CRC
+  /// failed to mask. The strict wire decoder is expected to reject the
+  /// frame with a typed error, never crash (tests/wire_test.cpp fuzzes
+  /// exactly this path).
+  double payloadBitFlipProb = 0.0;
+  int payloadBitFlips = 3;
+  /// With this probability per frame, the delivered payload is cut short
+  /// at a random fraction of its length (a transfer aborted mid-frame).
+  double payloadTruncateProb = 0.0;
+
   /// True when any fault channel is active.
   [[nodiscard]] bool any() const;
 };
@@ -92,6 +105,14 @@ class FaultInjector {
   /// `frameIndex` to the remote detections, in place. Deterministic given
   /// (config seed, frameIndex, dets.size()).
   void applyBoxFaults(Detections& dets, int frameIndex) const;
+
+  /// Apply the payload-corruption faults (bit flips + truncation) of frame
+  /// `frameIndex` to an encoded wire payload, in place. Flips happen
+  /// before truncation. Deterministic given (config seed, frameIndex,
+  /// bytes.size()); a fresh channel, so enabling it never re-randomizes
+  /// the existing link/sector/box streams. No-op on an empty buffer.
+  void applyPayloadFaults(std::vector<std::uint8_t>& bytes,
+                          int frameIndex) const;
 
  private:
   FaultConfig cfg_;

@@ -3,150 +3,173 @@
 #include <cstdint>
 #include <fstream>
 
-#include "common/assert.hpp"
+#include "wire/bytes.hpp"
 
 namespace bba {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x44414242;  // "BBAD"
-constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void writePod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+constexpr char kMagic[4] = {'B', 'B', 'A', 'D'};
+// v2: wire framing (magic/version/length/CRC) + varint counts. v1 was raw
+// POD streaming with no integrity check — a truncated v1 body could hand
+// back garbage counts; v2 rejects it with a typed error instead.
+constexpr std::uint8_t kVersion = 2;
+
+using wire::ByteReader;
+using wire::ByteWriter;
+
+[[noreturn]] void fail(wire::DecodeError kind, const std::string& path,
+                       const std::string& what) {
+  throw DatasetFormatError(
+      kind, "loadDataset: " + what + " in " + path + " (" +
+                wire::toString(kind) + ")");
 }
 
-template <typename T>
-T readPod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw ComputationError("dataset file truncated");
-  return v;
-}
-
-void writeCloud(std::ostream& os, const PointCloud& c) {
-  writePod(os, static_cast<std::uint64_t>(c.size()));
+void writeCloud(ByteWriter& w, const PointCloud& c) {
+  w.varint(c.size());
   for (const auto& lp : c.points) {
-    writePod(os, lp.p.x);
-    writePod(os, lp.p.y);
-    writePod(os, lp.p.z);
-    writePod(os, lp.time);
+    w.f64le(lp.p.x);
+    w.f64le(lp.p.y);
+    w.f64le(lp.p.z);
+    w.f32le(lp.time);
   }
 }
 
-PointCloud readCloud(std::istream& is) {
-  const auto n = readPod<std::uint64_t>(is);
-  PointCloud c;
+bool readCloud(ByteReader& r, PointCloud& c) {
+  std::uint64_t n = 0;
+  if (!r.varint(n)) return false;
+  // 28 bytes per point: a lying count cannot out-size the payload.
+  if (n > r.remaining() / 28) return false;
   c.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     Vec3 p;
-    p.x = readPod<double>(is);
-    p.y = readPod<double>(is);
-    p.z = readPod<double>(is);
-    const auto t = readPod<float>(is);
+    float t = 0.0f;
+    if (!r.f64le(p.x) || !r.f64le(p.y) || !r.f64le(p.z) || !r.f32le(t))
+      return false;
     c.push(p, t);
   }
-  return c;
+  return true;
 }
 
-void writeBox(std::ostream& os, const Box3& b) {
-  writePod(os, b.center.x);
-  writePod(os, b.center.y);
-  writePod(os, b.center.z);
-  writePod(os, b.size.x);
-  writePod(os, b.size.y);
-  writePod(os, b.size.z);
-  writePod(os, b.yaw);
+void writeBox(ByteWriter& w, const Box3& b) {
+  w.f64le(b.center.x);
+  w.f64le(b.center.y);
+  w.f64le(b.center.z);
+  w.f64le(b.size.x);
+  w.f64le(b.size.y);
+  w.f64le(b.size.z);
+  w.f64le(b.yaw);
 }
 
-Box3 readBox(std::istream& is) {
-  Box3 b;
-  b.center.x = readPod<double>(is);
-  b.center.y = readPod<double>(is);
-  b.center.z = readPod<double>(is);
-  b.size.x = readPod<double>(is);
-  b.size.y = readPod<double>(is);
-  b.size.z = readPod<double>(is);
-  b.yaw = readPod<double>(is);
-  return b;
+bool readBox(ByteReader& r, Box3& b) {
+  return r.f64le(b.center.x) && r.f64le(b.center.y) &&
+         r.f64le(b.center.z) && r.f64le(b.size.x) && r.f64le(b.size.y) &&
+         r.f64le(b.size.z) && r.f64le(b.yaw);
 }
 
-void writeDetections(std::ostream& os, const Detections& dets) {
-  writePod(os, static_cast<std::uint64_t>(dets.size()));
+void writeDetections(ByteWriter& w, const Detections& dets) {
+  w.varint(dets.size());
   for (const auto& d : dets) {
-    writeBox(os, d.box);
-    writePod(os, d.score);
-    writePod(os, static_cast<std::int32_t>(d.truthId));
+    writeBox(w, d.box);
+    w.f32le(d.score);
+    w.svarint(d.truthId);
   }
 }
 
-Detections readDetections(std::istream& is) {
-  const auto n = readPod<std::uint64_t>(is);
-  Detections dets;
+bool readDetections(ByteReader& r, Detections& dets) {
+  std::uint64_t n = 0;
+  if (!r.varint(n)) return false;
+  if (n > r.remaining() / 61) return false;  // 7*8 + 4 + >=1 per det
   dets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     Detection d;
-    d.box = readBox(is);
-    d.score = readPod<float>(is);
-    d.truthId = readPod<std::int32_t>(is);
+    std::int64_t truthId = 0;
+    if (!readBox(r, d.box) || !r.f32le(d.score) || !r.svarint(truthId))
+      return false;
+    d.truthId = static_cast<int>(truthId);
     dets.push_back(d);
   }
-  return dets;
+  return true;
 }
+
 }  // namespace
 
 void saveDataset(const std::vector<FramePair>& pairs,
                  const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  wire::FrameBuilder frame(bytes, kMagic, kVersion);
+  ByteWriter w(frame.buffer());
+  w.varint(pairs.size());
+  for (const auto& p : pairs) {
+    w.svarint(p.pairIndex);
+    w.f64le(p.gtOtherToEgo.t.x);
+    w.f64le(p.gtOtherToEgo.t.y);
+    w.f64le(p.gtOtherToEgo.theta);
+    w.f64le(p.interVehicleDistance);
+    w.svarint(p.commonCars);
+    writeCloud(w, p.egoCloud);
+    writeCloud(w, p.otherCloud);
+    writeDetections(w, p.egoDets);
+    writeDetections(w, p.otherDets);
+    w.varint(p.gtBoxesEgoFrame.size());
+    for (const auto& b : p.gtBoxesEgoFrame) writeBox(w, b);
+  }
+  frame.finish();
+
   std::ofstream os(path, std::ios::binary);
   if (!os) throw ComputationError("saveDataset: cannot open " + path);
-  writePod(os, kMagic);
-  writePod(os, kVersion);
-  writePod(os, static_cast<std::uint64_t>(pairs.size()));
-  for (const auto& p : pairs) {
-    writePod(os, static_cast<std::int32_t>(p.pairIndex));
-    writePod(os, p.gtOtherToEgo.t.x);
-    writePod(os, p.gtOtherToEgo.t.y);
-    writePod(os, p.gtOtherToEgo.theta);
-    writePod(os, p.interVehicleDistance);
-    writePod(os, static_cast<std::int32_t>(p.commonCars));
-    writeCloud(os, p.egoCloud);
-    writeCloud(os, p.otherCloud);
-    writeDetections(os, p.egoDets);
-    writeDetections(os, p.otherDets);
-    writePod(os, static_cast<std::uint64_t>(p.gtBoxesEgoFrame.size()));
-    for (const auto& b : p.gtBoxesEgoFrame) writeBox(os, b);
-  }
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
   if (!os) throw ComputationError("saveDataset: write failed for " + path);
 }
 
 std::vector<FramePair> loadDataset(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw ComputationError("loadDataset: cannot open " + path);
-  if (readPod<std::uint32_t>(is) != kMagic)
-    throw ComputationError("loadDataset: bad magic in " + path);
-  if (readPod<std::uint32_t>(is) != kVersion)
-    throw ComputationError("loadDataset: unsupported version in " + path);
-  const auto count = readPod<std::uint64_t>(is);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+
+  wire::FrameView view;
+  const wire::DecodeError err =
+      wire::unframe(bytes.data(), bytes.size(), kMagic, kVersion, view);
+  if (err != wire::DecodeError::None) fail(err, path, "invalid dataset file");
+  if (view.version != kVersion)
+    fail(wire::DecodeError::UnsupportedVersion, path, "unsupported version");
+  if (view.frameSize != bytes.size())
+    fail(wire::DecodeError::MalformedPayload, path, "trailing bytes");
+
+  ByteReader r(view.payload, view.payloadSize);
+  std::uint64_t count = 0;
+  if (!r.varint(count) || count > r.remaining())
+    fail(wire::DecodeError::MalformedPayload, path, "bad pair count");
   std::vector<FramePair> pairs;
   pairs.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     FramePair p;
-    p.pairIndex = readPod<std::int32_t>(is);
-    p.gtOtherToEgo.t.x = readPod<double>(is);
-    p.gtOtherToEgo.t.y = readPod<double>(is);
-    p.gtOtherToEgo.theta = readPod<double>(is);
-    p.interVehicleDistance = readPod<double>(is);
-    p.commonCars = readPod<std::int32_t>(is);
-    p.egoCloud = readCloud(is);
-    p.otherCloud = readCloud(is);
-    p.egoDets = readDetections(is);
-    p.otherDets = readDetections(is);
-    const auto nBoxes = readPod<std::uint64_t>(is);
+    std::int64_t pairIndex = 0, commonCars = 0;
+    std::uint64_t nBoxes = 0;
+    const bool ok =
+        r.svarint(pairIndex) && r.f64le(p.gtOtherToEgo.t.x) &&
+        r.f64le(p.gtOtherToEgo.t.y) && r.f64le(p.gtOtherToEgo.theta) &&
+        r.f64le(p.interVehicleDistance) && r.svarint(commonCars) &&
+        readCloud(r, p.egoCloud) && readCloud(r, p.otherCloud) &&
+        readDetections(r, p.egoDets) && readDetections(r, p.otherDets) &&
+        r.varint(nBoxes) && nBoxes <= r.remaining() / 56;
+    if (!ok)
+      fail(wire::DecodeError::MalformedPayload, path, "truncated pair record");
+    p.pairIndex = static_cast<int>(pairIndex);
+    p.commonCars = static_cast<int>(commonCars);
     p.gtBoxesEgoFrame.reserve(nBoxes);
-    for (std::uint64_t b = 0; b < nBoxes; ++b)
-      p.gtBoxesEgoFrame.push_back(readBox(is));
+    for (std::uint64_t b = 0; b < nBoxes; ++b) {
+      Box3 box;
+      if (!readBox(r, box))
+        fail(wire::DecodeError::MalformedPayload, path, "truncated GT box");
+      p.gtBoxesEgoFrame.push_back(box);
+    }
     pairs.push_back(std::move(p));
   }
+  if (r.remaining() != 0)
+    fail(wire::DecodeError::MalformedPayload, path, "trailing payload bytes");
   return pairs;
 }
 

@@ -3,18 +3,40 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "dataset/frame_pair.hpp"
+#include "wire/frame.hpp"
 
 namespace bba {
 
-/// Write a frame-pair dataset to a binary file. Format: "BBAD" magic,
-/// version, pair count, then each pair's pose, clouds, detections and GT
-/// boxes. Throws ComputationError on I/O failure.
+/// Thrown by loadDataset when the file's bytes are not a valid dataset:
+/// bad magic, unsupported version, truncated body, failed CRC, or counts
+/// inconsistent with the bytes present. Subclasses ComputationError so
+/// existing catch sites keep working; `kind()` gives the typed cause from
+/// the shared wire taxonomy.
+class DatasetFormatError : public ComputationError {
+ public:
+  DatasetFormatError(wire::DecodeError kind, const std::string& msg)
+      : ComputationError(msg), kind_(kind) {}
+
+  [[nodiscard]] wire::DecodeError kind() const { return kind_; }
+
+ private:
+  wire::DecodeError kind_;
+};
+
+/// Write a frame-pair dataset to a binary file. On-disk format v2 uses the
+/// shared wire framing (src/wire): "BBAD" magic, version, payload length,
+/// varint-counted records, CRC-32 trailer. Throws ComputationError on I/O
+/// failure.
 void saveDataset(const std::vector<FramePair>& pairs,
                  const std::string& path);
 
-/// Read a dataset written by saveDataset. Throws ComputationError on I/O
-/// failure, bad magic, or version mismatch.
+/// Read a dataset written by saveDataset. Strict: the whole file is
+/// CRC-validated before parsing, every count is checked against the bytes
+/// actually present, and a malformed file throws DatasetFormatError
+/// instead of silently reading garbage (a truncated v1 body could). Throws
+/// plain ComputationError when the file cannot be opened.
 [[nodiscard]] std::vector<FramePair> loadDataset(const std::string& path);
 
 }  // namespace bba

@@ -1,0 +1,263 @@
+#include "service/cooperation_service.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bba::service {
+
+namespace {
+
+/// Decorrelated per-session RNG stream: the same (seed, peerId) always
+/// yields the same stream, and distinct peers never share one (same
+/// mixing discipline as dataset/fault.cpp's frameRng).
+std::uint64_t sessionSeed(std::uint64_t serviceSeed, std::uint64_t peerId) {
+  return serviceSeed ^ (peerId * 0x9E3779B97F4A7C15ULL) ^
+         0xC2B2AE3D27D4EB4FULL;
+}
+
+void appendStatsJson(std::string& out, const SessionStats& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"peer\":%llu,\"frames\":%d,\"link_drops\":%d,\"decode_ok\":%d,"
+      "\"decode_failed\":%d,\"payload_mismatch\":%d,\"bytes_received\":%lld,"
+      "\"poses_reported\":%d,\"last_confidence\":%.6f",
+      static_cast<unsigned long long>(s.peerId), s.frames, s.linkDrops,
+      s.decodeOk, s.decodeFailed, s.payloadMismatch,
+      static_cast<long long>(s.bytesReceived), s.posesReported,
+      s.lastConfidence);
+  out += buf;
+  out += ",\"reject_by_cause\":{";
+  bool first = true;
+  for (int i = 1; i < wire::kDecodeErrorCount; ++i) {
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof buf, "\"%s\":%d",
+                  wire::toString(static_cast<wire::DecodeError>(i)),
+                  s.rejectByCause[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  out += "},\"outcomes\":{";
+  for (int i = 0; i < kTrackerOutcomeCount; ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof buf, "\"%s\":%d",
+                  toString(static_cast<TrackerOutcome>(i)),
+                  s.outcomes[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string ServiceReport::toJson() const {
+  std::string out;
+  out.reserve(512 + sessions.size() * 512);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "{\"frames\":%d,\"sessions\":[",
+                framesProcessed);
+  out += buf;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (i > 0) out += ',';
+    appendStatsJson(out, sessions[i]);
+  }
+  out += "],\"aggregate\":";
+  appendStatsJson(out, aggregate);
+  out += "}";
+  return out;
+}
+
+wire::CooperativeMessage toMessage(const CarPerceptionData& data,
+                                   std::uint64_t senderId,
+                                   std::uint32_t frameIndex,
+                                   std::int64_t captureTimeMicros) {
+  wire::CooperativeMessage msg;
+  msg.senderId = senderId;
+  msg.frameIndex = frameIndex;
+  msg.captureTimeMicros = captureTimeMicros;
+  msg.bvImage = data.bvImage;
+  msg.boxes = data.boxes;
+  return msg;
+}
+
+CarPerceptionData toCarData(const wire::CooperativeMessage& msg) {
+  return CarPerceptionData{msg.bvImage, msg.boxes};
+}
+
+struct CooperationService::Session {
+  Session(std::uint64_t id, const ServiceConfig& cfg)
+      : peerId(id), tracker(cfg.tracker),
+        rng(sessionSeed(cfg.seed, id)) {
+    stats.peerId = id;
+  }
+
+  std::uint64_t peerId;
+  PoseTracker tracker;
+  Rng rng;
+  SessionStats stats;
+};
+
+CooperationService::CooperationService(ServiceConfig config)
+    : cfg_(std::move(config)) {
+  BBA_ASSERT_MSG(cfg_.maxSessions >= 1, "maxSessions must be >= 1");
+}
+
+CooperationService::~CooperationService() = default;
+
+CooperationService::Session& CooperationService::sessionFor(
+    std::uint64_t peerId) {
+  auto it = sessions_.find(peerId);
+  if (it == sessions_.end()) {
+    BBA_ASSERT_MSG(static_cast<int>(sessions_.size()) < cfg_.maxSessions,
+                   "session table full (ServiceConfig::maxSessions)");
+    it = sessions_
+             .emplace(peerId, std::make_unique<Session>(peerId, cfg_))
+             .first;
+    BBA_COUNTER_ADD("service.sessions_created", 1);
+    BBA_GAUGE_SET("service.sessions", static_cast<double>(sessions_.size()));
+  }
+  return *it->second;
+}
+
+std::vector<std::uint8_t> CooperationService::sendFrame(
+    const CarPerceptionData& data, std::uint64_t senderId,
+    std::uint32_t frameIndex, wire::EncodeStats* stats) const {
+  return wire::encode(toMessage(data, senderId, frameIndex), cfg_.wire,
+                      stats);
+}
+
+std::vector<SessionFrameResult> CooperationService::processFrame(
+    const CarPerceptionData& ego,
+    const std::vector<PeerFrameInput>& inputs) {
+  BBA_SPAN("service.processFrame");
+  const std::int64_t n = static_cast<std::int64_t>(inputs.size());
+  {
+    std::unordered_set<std::uint64_t> ids;
+    for (const PeerFrameInput& in : inputs) {
+      BBA_ASSERT_MSG(ids.insert(in.peerId).second,
+                     "duplicate peerId within one processFrame call");
+    }
+  }
+
+  // Session creation is serial; the parallel region below only ever
+  // touches sessions that already exist.
+  std::vector<Session*> bySlot(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    bySlot[i] = &sessionFor(inputs[i].peerId);
+
+  // Cross-session parallel, per-session serial: every input owns its
+  // session exclusively (ids are distinct), so chunk grain 1 gives one
+  // independent task per session and results are byte-identical at any
+  // thread count.
+  std::vector<SessionFrameResult> results(inputs.size());
+  parallelFor(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      const PeerFrameInput& in = inputs[static_cast<std::size_t>(i)];
+      Session& session = *bySlot[static_cast<std::size_t>(i)];
+      SessionFrameResult& res = results[static_cast<std::size_t>(i)];
+      res.peerId = in.peerId;
+      if (in.payload == nullptr) {
+        res.track = session.tracker.coast(&res.report);
+        continue;
+      }
+      res.received = true;
+      res.payloadBytes = in.payload->size();
+      wire::DecodeResult decoded = wire::decode(*in.payload);
+      res.decodeError = decoded.error;
+      if (decoded.error != wire::DecodeError::None) {
+        // Corrupt traffic degrades to a dropped frame: the tracker's
+        // ladder absorbs it exactly like a link drop.
+        res.track = session.tracker.coast(&res.report);
+        continue;
+      }
+      const wire::CooperativeMessage& msg = decoded.message;
+      const int expected = cfg_.tracker.aligner.bev.imageSize();
+      if (msg.bvImage.empty() || msg.bvImage.width() != expected ||
+          msg.bvImage.height() != expected) {
+        res.payloadMismatch = true;
+        res.track = session.tracker.coast(&res.report);
+        continue;
+      }
+      if (cfg_.usePosePriors && msg.hasPosePrior &&
+          !session.tracker.hasTrack()) {
+        session.tracker.acceptExternalPose(msg.posePrior);
+      }
+      res.track = session.tracker.update(toCarData(msg), ego, session.rng,
+                                         &res.report);
+    }
+  });
+
+  // Deterministic merge: stats and service.* metrics update in
+  // session-id order, never in completion order.
+  std::unordered_map<std::uint64_t, std::size_t> slotOf;
+  slotOf.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    slotOf.emplace(inputs[i].peerId, i);
+  for (auto& [peerId, session] : sessions_) {
+    auto found = slotOf.find(peerId);
+    if (found == slotOf.end()) continue;  // peer absent this frame
+    const SessionFrameResult& res = results[found->second];
+    SessionStats& st = session->stats;
+    st.frames += 1;
+    st.outcomes[static_cast<std::size_t>(res.track.outcome)] += 1;
+    st.lastConfidence = res.track.confidence;
+    if (!res.received) {
+      st.linkDrops += 1;
+      BBA_COUNTER_ADD("service.link_drops", 1);
+    } else if (res.decodeError != wire::DecodeError::None) {
+      st.decodeFailed += 1;
+      st.rejectByCause[static_cast<std::size_t>(res.decodeError)] += 1;
+      BBA_COUNTER_ADD("service.decode_failed", 1);
+    } else {
+      st.decodeOk += 1;
+      st.bytesReceived += static_cast<std::int64_t>(res.payloadBytes);
+      if (res.payloadMismatch) {
+        st.payloadMismatch += 1;
+        BBA_COUNTER_ADD("service.payload_mismatch", 1);
+      }
+    }
+    if (res.track.poseValid) {
+      st.posesReported += 1;
+      BBA_COUNTER_ADD("service.poses_reported", 1);
+    }
+  }
+  frames_ += 1;
+  BBA_COUNTER_ADD("service.frames", 1);
+  BBA_COUNTER_ADD("service.inputs", n);
+  return results;
+}
+
+ServiceReport CooperationService::report() const {
+  ServiceReport rep;
+  rep.framesProcessed = frames_;
+  rep.sessions.reserve(sessions_.size());
+  double confidenceSum = 0.0;
+  for (const auto& [peerId, session] : sessions_) {
+    const SessionStats& st = session->stats;
+    rep.sessions.push_back(st);
+    rep.aggregate.frames += st.frames;
+    rep.aggregate.linkDrops += st.linkDrops;
+    rep.aggregate.decodeOk += st.decodeOk;
+    rep.aggregate.decodeFailed += st.decodeFailed;
+    rep.aggregate.payloadMismatch += st.payloadMismatch;
+    rep.aggregate.bytesReceived += st.bytesReceived;
+    for (std::size_t i = 0; i < st.rejectByCause.size(); ++i)
+      rep.aggregate.rejectByCause[i] += st.rejectByCause[i];
+    for (std::size_t i = 0; i < st.outcomes.size(); ++i)
+      rep.aggregate.outcomes[i] += st.outcomes[i];
+    rep.aggregate.posesReported += st.posesReported;
+    confidenceSum += st.lastConfidence;
+  }
+  if (!rep.sessions.empty())
+    rep.aggregate.lastConfidence =
+        confidenceSum / static_cast<double>(rep.sessions.size());
+  return rep;
+}
+
+}  // namespace bba::service

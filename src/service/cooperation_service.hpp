@@ -1,0 +1,158 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bb_align.hpp"
+#include "stream/pose_tracker.hpp"
+#include "wire/message.hpp"
+
+namespace bba::service {
+
+/// Configuration of a CooperationService instance.
+struct ServiceConfig {
+  /// Encoder profile used by sendFrame() (the decoder side is
+  /// self-describing and needs no profile).
+  wire::WireConfig wire;
+  /// Per-session tracker configuration (every session gets its own copy).
+  PoseTrackerConfig tracker;
+  /// Root seed of the service. Each session derives a decorrelated RANSAC
+  /// stream from (seed, peerId), so adding or removing one peer never
+  /// perturbs another peer's results.
+  std::uint64_t seed = 1;
+  /// Hard cap on concurrent sessions (asserted on session creation).
+  int maxSessions = 64;
+  /// When a message from a still-bootstrapping session carries a pose
+  /// prior, inject it via PoseTracker::acceptExternalPose before the
+  /// update — the peer's own estimate (GPS, a previous lock) warm-starts
+  /// the track.
+  bool usePosePriors = true;
+};
+
+/// One peer's input for one service frame.
+struct PeerFrameInput {
+  std::uint64_t peerId = 0;
+  /// Encoded wire frame as received from the link; nullptr models a link
+  /// drop (the session coasts).
+  const std::vector<std::uint8_t>* payload = nullptr;
+};
+
+/// What one session produced for one service frame.
+struct SessionFrameResult {
+  std::uint64_t peerId = 0;
+  /// A payload arrived (it may still have failed to decode).
+  bool received = false;
+  wire::DecodeError decodeError = wire::DecodeError::None;
+  /// Encoded size of the received payload (0 on link drop).
+  std::size_t payloadBytes = 0;
+  /// The decoded message carried no BV image or one whose dimensions do
+  /// not match this service's aligner; the frame was coasted.
+  bool payloadMismatch = false;
+  TrackerResult track;
+  TrackerReport report;
+};
+
+/// Cumulative per-session accounting. Every field is an integer or a
+/// deterministic double, so two runs of the same scenario produce
+/// byte-identical stats at any thread count.
+struct SessionStats {
+  std::uint64_t peerId = 0;
+  int frames = 0;
+  int linkDrops = 0;
+  int decodeOk = 0;
+  int decodeFailed = 0;
+  int payloadMismatch = 0;
+  std::int64_t bytesReceived = 0;
+  /// Rejections by DecodeError (index = enum value; [0] stays 0).
+  std::array<int, wire::kDecodeErrorCount> rejectByCause{};
+  /// Frames per TrackerOutcome (index = enum value).
+  std::array<int, kTrackerOutcomeCount> outcomes{};
+  /// Frames that reported a valid pose.
+  int posesReported = 0;
+  double lastConfidence = 0.0;
+};
+
+/// Deterministic snapshot of a service: per-session stats in session-id
+/// order plus their aggregate.
+struct ServiceReport {
+  int framesProcessed = 0;
+  std::vector<SessionStats> sessions;
+  /// Field-wise sum over `sessions` (peerId 0; lastConfidence is the
+  /// mean of the sessions' last confidences).
+  SessionStats aggregate;
+
+  /// One JSON object with stable key order; byte-identical across runs
+  /// and thread counts for the same scenario (tests/service_test.cpp).
+  [[nodiscard]] std::string toJson() const;
+};
+
+/// Member-wise bridge between the core payload type and the wire message
+/// (kept here so `wire` does not depend on `core`).
+[[nodiscard]] wire::CooperativeMessage toMessage(
+    const CarPerceptionData& data, std::uint64_t senderId,
+    std::uint32_t frameIndex, std::int64_t captureTimeMicros = 0);
+[[nodiscard]] CarPerceptionData toCarData(const wire::CooperativeMessage& msg);
+
+/// Multi-peer cooperation endpoint: owns one session (PoseTracker + RNG
+/// stream + stats) per peer vehicle and schedules per-frame work across
+/// the deterministic parallel runtime.
+///
+/// Determinism contract: sessions are mutually independent — within a
+/// session everything is serial, across sessions frames run in parallel,
+/// and results/stats are merged in session-id order — so processFrame()
+/// outputs and report() are byte-identical at any BBA_THREADS
+/// (asserted by tests/service_test.cpp).
+///
+/// Robustness: a corrupted or truncated payload is rejected by the strict
+/// wire decoder (typed DecodeError, counted per cause) and absorbed by the
+/// session's PoseTracker as a coasted frame — the degradation ladder of
+/// src/stream handles the gap exactly like a link drop.
+class CooperationService {
+ public:
+  explicit CooperationService(ServiceConfig config = {});
+  ~CooperationService();
+  CooperationService(const CooperationService&) = delete;
+  CooperationService& operator=(const CooperationService&) = delete;
+
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+  /// Encode this vehicle's own payload for broadcast (the sender side of
+  /// the protocol): wraps toMessage + wire::encode with this service's
+  /// WireConfig.
+  [[nodiscard]] std::vector<std::uint8_t> sendFrame(
+      const CarPerceptionData& data, std::uint64_t senderId,
+      std::uint32_t frameIndex,
+      wire::EncodeStats* stats = nullptr) const;
+
+  /// Process one frame of received traffic: decode every peer's payload,
+  /// run each session's tracker step (cross-session parallel), and return
+  /// one result per input, in input order. Peer ids within one call must
+  /// be distinct. Sessions are created on first sight of a peer id.
+  std::vector<SessionFrameResult> processFrame(
+      const CarPerceptionData& ego,
+      const std::vector<PeerFrameInput>& inputs);
+
+  [[nodiscard]] int sessionCount() const {
+    return static_cast<int>(sessions_.size());
+  }
+  [[nodiscard]] int framesProcessed() const { return frames_; }
+
+  /// Deterministic snapshot of every session's stats (session-id order).
+  [[nodiscard]] ServiceReport report() const;
+
+ private:
+  struct Session;
+  Session& sessionFor(std::uint64_t peerId);
+
+  ServiceConfig cfg_;
+  int frames_ = 0;
+  // Ordered map: iteration order == session-id order == merge order.
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace bba::service

@@ -19,6 +19,8 @@ enum class TrackerOutcome {
   Bootstrapping,     ///< no track yet and no measurement — no pose to report
 };
 
+inline constexpr int kTrackerOutcomeCount = 5;
+
 [[nodiscard]] const char* toString(TrackerOutcome o);
 
 /// Tracker configuration. The defaults assume a 10 Hz frame period and the

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bba::wire {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+/// check of the wire framing. Detects all single-bit flips and the vast
+/// majority of multi-bit/truncation corruptions a lossy V2V link produces;
+/// it is NOT a cryptographic MAC and offers no protection against a
+/// deliberate forger.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace bba::wire

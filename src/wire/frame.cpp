@@ -1,0 +1,88 @@
+#include "wire/frame.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "wire/bytes.hpp"
+#include "wire/crc32.hpp"
+
+namespace bba::wire {
+
+const char* toString(DecodeError e) {
+  switch (e) {
+    case DecodeError::None:
+      return "none";
+    case DecodeError::BufferTooSmall:
+      return "buffer_too_small";
+    case DecodeError::BadMagic:
+      return "bad_magic";
+    case DecodeError::UnsupportedVersion:
+      return "unsupported_version";
+    case DecodeError::TruncatedPayload:
+      return "truncated_payload";
+    case DecodeError::CrcMismatch:
+      return "crc_mismatch";
+    case DecodeError::MalformedPayload:
+      return "malformed_payload";
+    case DecodeError::ValueOutOfRange:
+      return "value_out_of_range";
+  }
+  return "?";
+}
+
+FrameBuilder::FrameBuilder(std::vector<std::uint8_t>& out,
+                           const char magic[4], std::uint8_t version)
+    : out_(out) {
+  ByteWriter w(out_);
+  for (int i = 0; i < 4; ++i) w.u8(static_cast<std::uint8_t>(magic[i]));
+  w.u8(version);
+  w.u32le(0);  // payload length, patched by finish()
+  payloadStart_ = out_.size();
+}
+
+void FrameBuilder::finish() {
+  BBA_ASSERT(!finished_);
+  finished_ = true;
+  const std::size_t payloadSize = out_.size() - payloadStart_;
+  BBA_ASSERT_MSG(payloadSize <= 0xFFFFFFFFu, "wire payload exceeds 4 GiB");
+  const auto len = static_cast<std::uint32_t>(payloadSize);
+  out_[payloadStart_ - 4] = static_cast<std::uint8_t>(len);
+  out_[payloadStart_ - 3] = static_cast<std::uint8_t>(len >> 8);
+  out_[payloadStart_ - 2] = static_cast<std::uint8_t>(len >> 16);
+  out_[payloadStart_ - 1] = static_cast<std::uint8_t>(len >> 24);
+  const std::uint32_t crc = crc32(out_.data() + payloadStart_, payloadSize);
+  ByteWriter w(out_);
+  w.u32le(crc);
+}
+
+DecodeError unframe(const std::uint8_t* data, std::size_t size,
+                    const char magic[4], std::uint8_t maxVersion,
+                    FrameView& view) {
+  if (size < kFrameOverheadBytes) return DecodeError::BufferTooSmall;
+  if (std::memcmp(data, magic, 4) != 0) return DecodeError::BadMagic;
+  ByteReader r(data, size);
+  (void)r.skip(4);
+  std::uint8_t version = 0;
+  std::uint32_t len = 0;
+  (void)r.u8(version);
+  (void)r.u32le(len);
+  // Version before CRC: a frame from a future version carries a payload
+  // this build cannot even checksum-frame correctly, and the caller wants
+  // the precise cause, not a generic mismatch.
+  if (version == 0 || version > maxVersion)
+    return DecodeError::UnsupportedVersion;
+  if (static_cast<std::uint64_t>(len) + kFrameOverheadBytes > size)
+    return DecodeError::TruncatedPayload;
+  const std::uint8_t* payload = data + 9;
+  std::uint32_t storedCrc = 0;
+  ByteReader trailer(payload + len, 4);
+  (void)trailer.u32le(storedCrc);
+  if (crc32(payload, len) != storedCrc) return DecodeError::CrcMismatch;
+  view.version = version;
+  view.payload = payload;
+  view.payloadSize = len;
+  view.frameSize = kFrameOverheadBytes + len;
+  return DecodeError::None;
+}
+
+}  // namespace bba::wire

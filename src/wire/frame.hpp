@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bba::wire {
+
+/// Why a buffer failed strict decoding. Every rejection of malformed bytes
+/// maps to exactly one cause — decoders built on this taxonomy return a
+/// typed error, never throw, and never read out of bounds (asserted by the
+/// malformed-input fuzz loop in tests/wire_test.cpp).
+enum class DecodeError {
+  None,                ///< decoded successfully
+  BufferTooSmall,      ///< shorter than the fixed frame header + trailer
+  BadMagic,            ///< first four bytes are not this format's magic
+  UnsupportedVersion,  ///< framed with a version this build cannot parse
+  TruncatedPayload,    ///< declared payload length exceeds the bytes present
+  CrcMismatch,         ///< payload bytes fail the CRC-32 integrity check
+  MalformedPayload,    ///< payload structure inconsistent (varint/count runs
+                       ///< past the payload, or trailing bytes left over)
+  ValueOutOfRange,     ///< a field decoded to a semantically absurd value
+};
+
+inline constexpr int kDecodeErrorCount = 8;
+
+/// Stable snake_case name of a cause (JSON / metric suffix / docs).
+[[nodiscard]] const char* toString(DecodeError e);
+
+/// Framing layout shared by every wire format in this repo:
+///
+///   magic[4] | version u8 | payload_len u32le | payload | crc32 u32le
+///
+/// The CRC covers the payload bytes only; magic/version/length are checked
+/// structurally. 13 bytes of overhead per frame.
+inline constexpr std::size_t kFrameOverheadBytes = 13;
+
+/// Incrementally builds one frame into `out` (appending): writes the
+/// header with a length placeholder, lets the caller append payload bytes,
+/// then finish() patches the length and appends the CRC.
+class FrameBuilder {
+ public:
+  FrameBuilder(std::vector<std::uint8_t>& out, const char magic[4],
+               std::uint8_t version);
+
+  /// The buffer payload bytes should be appended to (via ByteWriter).
+  [[nodiscard]] std::vector<std::uint8_t>& buffer() { return out_; }
+
+  /// Patch the payload length and append the CRC-32 trailer. Call exactly
+  /// once, after all payload bytes are written.
+  void finish();
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t payloadStart_;
+  bool finished_ = false;
+};
+
+/// A validated view into one frame of `data`: set by unframe() on success.
+struct FrameView {
+  std::uint8_t version = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payloadSize = 0;
+  /// Total frame size (header + payload + trailer); a buffer may carry
+  /// further frames after this many bytes.
+  std::size_t frameSize = 0;
+};
+
+/// Strict frame validation: magic, version (1..maxVersion), declared
+/// length against the bytes actually present, and the payload CRC. Returns
+/// DecodeError::None and fills `view` on success. Never throws, never
+/// reads past `data + size`.
+[[nodiscard]] DecodeError unframe(const std::uint8_t* data, std::size_t size,
+                                  const char magic[4],
+                                  std::uint8_t maxVersion, FrameView& view);
+
+}  // namespace bba::wire

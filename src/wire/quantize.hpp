@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bba::wire {
+
+/// Symmetric fixed-point quantizer: values become integer multiples of a
+/// configurable resolution (round-to-nearest), so the round-trip error of
+/// any in-range value is bounded by resolution / 2. The resolution itself
+/// travels in the message (in micro-units), making every payload
+/// self-describing — see message.hpp.
+struct Quantizer {
+  double resolution = 0.01;
+
+  [[nodiscard]] std::int64_t quantize(double v) const {
+    return std::llround(v / resolution);
+  }
+  [[nodiscard]] double dequantize(std::int64_t q) const {
+    return static_cast<double>(q) * resolution;
+  }
+  /// What the decoder will reconstruct for `v`.
+  [[nodiscard]] double roundTrip(double v) const {
+    return dequantize(quantize(v));
+  }
+  /// |roundTrip(v) - v|, the realized quantization error (<= resolution/2).
+  [[nodiscard]] double error(double v) const {
+    return std::abs(roundTrip(v) - v);
+  }
+
+  /// Resolution in integer micro-units (the on-wire self-description);
+  /// clamped to >= 1 so a pathological config still encodes losslessly
+  /// at micro-unit granularity.
+  [[nodiscard]] std::uint64_t microUnits() const {
+    const long long u = std::llround(resolution * 1e6);
+    return u < 1 ? 1u : static_cast<std::uint64_t>(u);
+  }
+  /// Quantizer described by on-wire micro-units.
+  [[nodiscard]] static Quantizer fromMicroUnits(std::uint64_t micro) {
+    return Quantizer{static_cast<double>(micro) * 1e-6};
+  }
+};
+
+}  // namespace bba::wire

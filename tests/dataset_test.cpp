@@ -125,5 +125,63 @@ TEST(Serialize, RejectsMissingAndCorruptFiles) {
   std::remove(path.c_str());
 }
 
+// The v2 on-disk format carries the shared wire framing, so every way a
+// file can be damaged maps to a typed DatasetFormatError instead of
+// silently reading garbage counts (the v1 failure mode).
+TEST(Serialize, TypedErrorsForDamagedFiles) {
+  DatasetConfig cfg;
+  cfg.seed = 11;
+  const std::vector<FramePair> pairs = DatasetGenerator(cfg).generate(1);
+  const std::string path = "/tmp/bba_damaged_test.bin";
+  saveDataset(pairs, path);
+
+  std::vector<char> bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(is)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  auto rewrite = [&path](const std::vector<char>& b) {
+    std::ofstream os(path, std::ios::binary);
+    os.write(b.data(), static_cast<std::streamsize>(b.size()));
+  };
+  auto kindOf = [&path]() {
+    try {
+      (void)loadDataset(path);
+    } catch (const DatasetFormatError& e) {
+      return e.kind();
+    }
+    return wire::DecodeError::None;
+  };
+
+  // Cut the body short: the declared payload length no longer fits.
+  std::vector<char> damaged(bytes.begin(),
+                            bytes.begin() + static_cast<long>(bytes.size() / 2));
+  rewrite(damaged);
+  EXPECT_EQ(kindOf(), wire::DecodeError::TruncatedPayload);
+
+  // Flip one byte mid-payload: CRC catches it.
+  damaged = bytes;
+  damaged[damaged.size() / 2] =
+      static_cast<char>(damaged[damaged.size() / 2] ^ 0x40);
+  rewrite(damaged);
+  EXPECT_EQ(kindOf(), wire::DecodeError::CrcMismatch);
+
+  // Future version byte.
+  damaged = bytes;
+  damaged[4] = 99;
+  rewrite(damaged);
+  EXPECT_EQ(kindOf(), wire::DecodeError::UnsupportedVersion);
+
+  // Wrong magic.
+  damaged = bytes;
+  damaged[0] = 'X';
+  rewrite(damaged);
+  EXPECT_EQ(kindOf(), wire::DecodeError::BadMagic);
+
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace bba

@@ -5,9 +5,11 @@
    point at an existing file, and a ``#fragment`` into a Markdown file
    must match a heading in that file (GitHub slug rules).
 2. Taxonomy gate: every ``RecoveryFailure`` enumerator (parsed from
-   src/obs/report.hpp) and every ``stream.*`` metric name (parsed from
-   src/stream/pose_tracker.cpp) must appear somewhere in the checked
-   documents — the docs may not silently fall behind the code.
+   src/obs/report.hpp), every ``wire::DecodeError`` enumerator (parsed
+   from src/wire/frame.hpp), and every ``stream.*`` / ``wire.*`` /
+   ``service.*`` metric name (parsed from the emitting sources) must
+   appear somewhere in the checked documents — the docs may not silently
+   fall behind the code.
 
 Exit code 0 when healthy; prints every violation otherwise.
 """
@@ -100,6 +102,34 @@ def stream_metric_names() -> list:
     return sorted(set(re.findall(r"\"(stream\.\w+)\"", source)))
 
 
+def decode_error_enumerators() -> list:
+    """Enumerator names of wire::DecodeError plus their string forms."""
+    header = (REPO / "src" / "wire" / "frame.hpp").read_text(encoding="utf-8")
+    m = re.search(r"enum class DecodeError[^{]*\{(.*?)\};", header, re.S)
+    if not m:
+        sys.exit("check_docs: cannot find DecodeError in frame.hpp")
+    names = re.findall(r"^\s*(\w+)\s*[,=]", m.group(1), re.M)
+    source = (REPO / "src" / "wire" / "frame.cpp").read_text(encoding="utf-8")
+    strings = re.findall(r"case DecodeError::\w+:\s*return \"(\w+)\";", source)
+    return names + strings
+
+
+def wire_metric_names() -> list:
+    names = set()
+    for src in sorted((REPO / "src" / "wire").glob("*.cpp")):
+        names.update(re.findall(r"\"(wire\.\w+)\"", src.read_text(
+            encoding="utf-8")))
+    return sorted(names)
+
+
+def service_metric_names() -> list:
+    names = set()
+    for src in sorted((REPO / "src" / "service").glob("*.cpp")):
+        names.update(re.findall(r"\"(service\.\w+)\"", src.read_text(
+            encoding="utf-8")))
+    return sorted(names)
+
+
 def main() -> int:
     errors = []
     corpus = ""
@@ -120,6 +150,16 @@ def main() -> int:
             errors.append(
                 f"stream metric '{name}' is undocumented "
                 f"(not found in any checked document)")
+    for name in decode_error_enumerators():
+        if name not in corpus:
+            errors.append(
+                f"DecodeError value '{name}' is undocumented "
+                f"(not found in any checked document)")
+    for name in wire_metric_names() + service_metric_names():
+        if name not in corpus:
+            errors.append(
+                f"metric '{name}' is undocumented "
+                f"(not found in any checked document)")
 
     if errors:
         print("docs-health: FAILED")
@@ -127,8 +167,9 @@ def main() -> int:
             print(f"  {e}")
         return 1
     print(f"docs-health: OK ({len(DOCS)} documents, "
-          f"{len(recovery_failure_enumerators())} taxonomy values, "
-          f"{len(stream_metric_names())} stream metrics)")
+          f"{len(recovery_failure_enumerators())} failure values, "
+          f"{len(decode_error_enumerators())} decode-error values, "
+          f"{len(stream_metric_names()) + len(wire_metric_names()) + len(service_metric_names())} metrics)")
     return 0
 
 

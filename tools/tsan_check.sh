@@ -11,7 +11,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DBBA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test service_test -j"$(nproc)"
 
 # Force the pool on even when the host reports a single CPU: TSan finds
 # races through happens-before analysis, not timing, so timesliced worker
@@ -27,4 +27,8 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # code paths many times over — a race would already show here).
 "$BUILD_DIR/tests/stream_test" \
   --gtest_filter='FaultInjector.*:SequenceGenerator.*:PoseTracker.*:PoseTrackerStream.TrackLossThenRebootstrap'
+# The cooperation service fans sessions out across the pool; the decode-only
+# suite drives that concurrency (incl. the 1-vs-8-thread report check)
+# without the heavyweight recover() pipeline scenarios.
+"$BUILD_DIR/tests/service_test" --gtest_filter='ServiceDecode.*'
 echo "tsan_check: no data races detected"
