@@ -149,6 +149,10 @@ struct PoseRecoveryResult {
   bool stage2Ok = false;
   /// The paper's empirical success criterion.
   bool success = false;
+  /// Gt-free self-validation of a successful estimate (computed == false
+  /// when the call failed). Callers replacing a trusted pose with this
+  /// estimate should gate on `validation.score` (PoseTracker does).
+  PoseValidation validation;
 };
 
 /// Optional caller-side priors for one recover() call. A streaming tracker

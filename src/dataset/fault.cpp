@@ -24,6 +24,9 @@ constexpr std::uint64_t kChannelLink = 1;
 constexpr std::uint64_t kChannelSector = 2;
 constexpr std::uint64_t kChannelBoxes = 3;
 constexpr std::uint64_t kChannelPayload = 4;
+constexpr std::uint64_t kChannelAdvPose = 5;
+constexpr std::uint64_t kChannelAdvReplay = 6;
+constexpr std::uint64_t kChannelAdvBoxes = 7;
 
 }  // namespace
 
@@ -31,12 +34,16 @@ bool FaultConfig::any() const {
   return frameDropProb > 0.0 || latencyProb > 0.0 || clockSkewSigma > 0.0 ||
          boxDropProb > 0.0 || maxBoxes >= 0 || boxCenterNoiseSigma > 0.0 ||
          boxYawNoiseSigmaDeg > 0.0 || sectorDropProb > 0.0 ||
-         payloadBitFlipProb > 0.0 || payloadTruncateProb > 0.0;
+         payloadBitFlipProb > 0.0 || payloadTruncateProb > 0.0 ||
+         poseSpoofProb > 0.0 || replayProb > 0.0 ||
+         boxFabricateProb > 0.0 || boxTeleportProb > 0.0;
 }
 
 FaultInjector::FaultInjector(FaultConfig config) : cfg_(config) {
   BBA_ASSERT(cfg_.maxLatencyFrames >= 1);
   BBA_ASSERT(cfg_.sectorWidthDeg > 0.0);
+  BBA_ASSERT(cfg_.maxReplayLag >= 1);
+  BBA_ASSERT(cfg_.boxFabricateCount >= 0);
 }
 
 FrameFaults FaultInjector::frameFaults(int frameIndex) const {
@@ -108,6 +115,63 @@ void FaultInjector::applyBoxFaults(Detections& dets, int frameIndex) const {
       d.box.center.y += rng.normal(0.0, cfg_.boxCenterNoiseSigma);
       d.box.yaw = wrapAngle(
           d.box.yaw + rng.normal(0.0, cfg_.boxYawNoiseSigmaDeg * kDegToRad));
+    }
+  }
+}
+
+AdversarialFaults FaultInjector::adversarialFaults(int frameIndex) const {
+  AdversarialFaults f;
+  // Pose-spoof channel: fixed draw order (gate, direction, yaw sign) so
+  // the realization of frame k is independent of the other probabilities.
+  Rng pose = frameRng(cfg_.seed, frameIndex, kChannelAdvPose);
+  const double spoofDraw = pose.uniform(0.0, 1.0);
+  const double dirDraw = pose.uniform(-3.14159265358979323846,
+                                      3.14159265358979323846);
+  const double signDraw = pose.uniform(0.0, 1.0);
+  if (spoofDraw < cfg_.poseSpoofProb) {
+    f.poseSpoofed = true;
+    f.spoofDelta.t = Vec2{std::cos(dirDraw), std::sin(dirDraw)} *
+                     cfg_.poseSpoofOffset;
+    f.spoofDelta.theta = (signDraw < 0.5 ? -1.0 : 1.0) *
+                         cfg_.poseSpoofYawDeg * kDegToRad;
+  }
+
+  Rng replay = frameRng(cfg_.seed, frameIndex, kChannelAdvReplay);
+  const double replayDraw = replay.uniform(0.0, 1.0);
+  const int lagDraw = replay.uniformInt(1, cfg_.maxReplayLag);
+  if (replayDraw < cfg_.replayProb) {
+    // Frame 0 has no past to replay.
+    f.replayLagFrames = std::min(lagDraw, frameIndex);
+    f.replayed = f.replayLagFrames > 0;
+  }
+  return f;
+}
+
+void FaultInjector::applyAdversarialBoxFaults(
+    std::vector<OrientedBox2>& boxes, int frameIndex) const {
+  Rng rng = frameRng(cfg_.seed, frameIndex, kChannelAdvBoxes);
+  // Fixed draw order: teleport gate + direction first, then the
+  // fabrication gate and its per-box draws — enabling fabrication never
+  // re-randomizes the teleport realization.
+  const double teleDraw = rng.uniform(0.0, 1.0);
+  const double teleDir = rng.uniform(-3.14159265358979323846,
+                                     3.14159265358979323846);
+  const double fabDraw = rng.uniform(0.0, 1.0);
+  if (teleDraw < cfg_.boxTeleportProb) {
+    const Vec2 offset =
+        Vec2{std::cos(teleDir), std::sin(teleDir)} * cfg_.boxTeleportOffset;
+    for (OrientedBox2& b : boxes) b.center += offset;
+  }
+  if (fabDraw < cfg_.boxFabricateProb) {
+    for (int i = 0; i < cfg_.boxFabricateCount; ++i) {
+      OrientedBox2 ghost;
+      ghost.center.x = rng.uniform(-cfg_.boxFabricateRange,
+                                   cfg_.boxFabricateRange);
+      ghost.center.y = rng.uniform(-cfg_.boxFabricateRange,
+                                   cfg_.boxFabricateRange);
+      ghost.yaw = rng.uniform(-3.14159265358979323846,
+                              3.14159265358979323846);
+      boxes.push_back(ghost);
     }
   }
 }

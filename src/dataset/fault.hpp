@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "detect/detection.hpp"
+#include "geom/obb.hpp"
+#include "geom/pose2.hpp"
 #include "pointcloud/point_cloud.hpp"
 
 namespace bba {
@@ -71,6 +73,44 @@ struct FaultConfig {
   /// at a random fraction of its length (a transfer aborted mid-frame).
   double payloadTruncateProb = 0.0;
 
+  // ---- adversarial channels (PR 5) ------------------------------------
+  // Unlike the channels above, these model a peer whose payloads decode
+  // cleanly but carry wrong CONTENT: the trust layer (gt-free validation,
+  // replay guard, cross-peer consistency, peer-health FSM) has to catch
+  // them. Each is a pure function of (seed, frame, channel) on its own
+  // decorrelated stream, so enabling one never re-randomizes the
+  // realizations of channels 0..N before it.
+
+  /// Pose-prior spoofing: with this probability per frame, the pose prior
+  /// the peer claims is offset by `poseSpoofOffset` meters in a
+  /// deterministic random direction plus `poseSpoofYawDeg` degrees of yaw
+  /// (random sign) — a lying GPS / a Sybil claiming to be elsewhere.
+  double poseSpoofProb = 0.0;
+  double poseSpoofOffset = 8.0;
+  double poseSpoofYawDeg = 25.0;
+
+  /// Frame replay: with this probability per frame, the peer re-sends the
+  /// payload of a frame `1..maxReplayLag` frames in the past, with the
+  /// ORIGINAL frame index / capture time — a recorded-traffic replay that
+  /// the receiver's monotonicity guard must reject.
+  double replayProb = 0.0;
+  int maxReplayLag = 3;
+
+  /// Box fabrication: with this probability per frame, `boxFabricateCount`
+  /// plausible-looking phantom boxes (uniform position within
+  /// `boxFabricateRange` meters, uniform yaw) are appended to the
+  /// transmitted box set — ghost vehicles injected into fusion.
+  double boxFabricateProb = 0.0;
+  int boxFabricateCount = 4;
+  double boxFabricateRange = 40.0;
+
+  /// Box teleportation: with this probability per frame, EVERY transmitted
+  /// box is displaced by a common deterministic random offset of magnitude
+  /// `boxTeleportOffset` meters — a coherent spatial lie that drags the
+  /// stage-2 correction (and the fused objects) off the truth.
+  double boxTeleportProb = 0.0;
+  double boxTeleportOffset = 2.5;
+
   /// True when any fault channel is active.
   [[nodiscard]] bool any() const;
 };
@@ -83,6 +123,17 @@ struct FrameFaults {
   bool sectorDropped = false;
   double sectorCenterRad = 0.0;
   double sectorHalfWidthRad = 0.0;
+};
+
+/// The adversarial realization of one frame (pure function of
+/// (seed, frame) on the adversarial channels).
+struct AdversarialFaults {
+  bool poseSpoofed = false;
+  /// Delta applied to the claimed pose prior when `poseSpoofed`.
+  Pose2 spoofDelta;
+  bool replayed = false;
+  /// Replayed payloads come from frame `index - replayLagFrames`.
+  int replayLagFrames = 0;
 };
 
 /// Deterministic per-frame fault sampler + payload mutators. Every output
@@ -113,6 +164,19 @@ class FaultInjector {
   /// the existing link/sector/box streams. No-op on an empty buffer.
   void applyPayloadFaults(std::vector<std::uint8_t>& bytes,
                           int frameIndex) const;
+
+  /// Sample the adversarial realization of frame `frameIndex` (pose-spoof
+  /// channel 5, replay channel 6 — fresh decorrelated streams; enabling
+  /// them never re-randomizes channels 1..4).
+  [[nodiscard]] AdversarialFaults adversarialFaults(int frameIndex) const;
+
+  /// Apply the adversarial box faults of frame `frameIndex` (fabrication +
+  /// teleportation, channel 7) to a transmitted BV box set, in place.
+  /// Deterministic given (config seed, frameIndex); fabricated boxes are
+  /// appended after the genuine ones, teleport displaces all boxes by one
+  /// common offset.
+  void applyAdversarialBoxFaults(std::vector<OrientedBox2>& boxes,
+                                 int frameIndex) const;
 
  private:
   FaultConfig cfg_;

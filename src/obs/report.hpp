@@ -21,6 +21,34 @@ enum class RecoveryFailure {
 
 [[nodiscard]] const char* toString(RecoveryFailure f);
 
+/// Ground-truth-free validation of one *successful* recovery: how well the
+/// recovered transform explains the payload it was estimated from. Two
+/// complementary residuals — the BV-occupancy overlap under the FINAL
+/// estimate (a box-spoofing attack shifts the estimate off the structure)
+/// and the transformed-box corner residual / IoU against the ego boxes (a
+/// BV-level impostor alignment misplaces the boxes) — so an adversary has
+/// to fake both modalities consistently to pass. Computed without any
+/// ground truth; a trusted-pose replacement (the whole point of BB-Align)
+/// must be able to score itself.
+struct PoseValidation {
+  /// The validation ran (recover() reached a successful estimate).
+  bool computed = false;
+  /// Occupancy-overlap score of the final estimate (same verifier as the
+  /// stage-1 hypothesis check, but on T_2D instead of T_bv).
+  double bvOverlap = 0.0;
+  /// Mean corner distance (meters) between transformed other boxes and
+  /// their paired ego boxes; 0 when no boxes paired.
+  double meanCornerResidual = 0.0;
+  /// Mean rotated IoU over the paired boxes; 0 when none paired.
+  double meanBoxIou = 0.0;
+  /// Box pairs entering the residuals (pairing by nearest center).
+  int boxesCompared = 0;
+  /// Combined score in [0, 1]: the minimum of the BV term and the box
+  /// term — an attack only has to break one modality, so the gate must
+  /// listen to the weaker one.
+  double score = 0.0;
+};
+
 /// Structured per-call account of one pose recovery: where the time went,
 /// how much material each stage had to work with, and why the call
 /// succeeded or failed. Returned alongside the pose (pass a report pointer
@@ -60,8 +88,14 @@ struct PoseRecoveryReport {
   bool success = false;
   RecoveryFailure failure = RecoveryFailure::None;
 
-  /// One JSON object with every field above (stable key names).
-  [[nodiscard]] std::string toJson() const;
+  // ---- gt-free validation (filled on success) --------------------------
+  PoseValidation validation;
+
+  /// One JSON object with every field above (stable key names). With
+  /// `includeTimings == false` the wall-clock "ms" object is omitted — the
+  /// remaining fields are deterministic, so the export is byte-comparable
+  /// across runs and thread counts.
+  [[nodiscard]] std::string toJson(bool includeTimings = true) const;
 };
 
 }  // namespace bba

@@ -51,7 +51,34 @@ void appendStatsJson(std::string& out, const SessionStats& s) {
                   s.outcomes[static_cast<std::size_t>(i)]);
     out += buf;
   }
-  out += "}}";
+  out += "},\"health\":{";
+  std::snprintf(
+      buf, sizeof buf,
+      "\"state\":\"%s\",\"suspicion\":%d,\"quarantines\":%d,"
+      "\"quarantined_frames\":%d,\"replay_rejects\":%d,"
+      "\"validation_rejects\":%d,\"gate_rejects\":%d,"
+      "\"consistency_outliers\":%d,\"transitions\":{",
+      toString(s.health), s.suspicion, s.quarantines, s.quarantinedFrames,
+      s.replayRejects, s.validationRejects, s.gateRejects,
+      s.consistencyOutliers);
+  out += buf;
+  // Transition tally: only the edges actually taken, in fixed
+  // (from, to) enum order — stable keys, no noise from impossible edges.
+  bool firstEdge = true;
+  for (int from = 0; from < kPeerHealthCount; ++from) {
+    for (int to = 0; to < kPeerHealthCount; ++to) {
+      const int count = s.healthTransitions[static_cast<std::size_t>(from)]
+                                           [static_cast<std::size_t>(to)];
+      if (count == 0) continue;
+      if (!firstEdge) out += ',';
+      firstEdge = false;
+      std::snprintf(buf, sizeof buf, "\"%s>%s\":%d",
+                    toString(static_cast<PeerHealth>(from)),
+                    toString(static_cast<PeerHealth>(to)), count);
+      out += buf;
+    }
+  }
+  out += "}}}";
 }
 
 }  // namespace
@@ -76,11 +103,16 @@ std::string ServiceReport::toJson() const {
 wire::CooperativeMessage toMessage(const CarPerceptionData& data,
                                    std::uint64_t senderId,
                                    std::uint32_t frameIndex,
-                                   std::int64_t captureTimeMicros) {
+                                   std::int64_t captureTimeMicros,
+                                   const Pose2* posePrior) {
   wire::CooperativeMessage msg;
   msg.senderId = senderId;
   msg.frameIndex = frameIndex;
   msg.captureTimeMicros = captureTimeMicros;
+  if (posePrior != nullptr) {
+    msg.hasPosePrior = true;
+    msg.posePrior = *posePrior;
+  }
   msg.bvImage = data.bvImage;
   msg.boxes = data.boxes;
   return msg;
@@ -92,8 +124,8 @@ CarPerceptionData toCarData(const wire::CooperativeMessage& msg) {
 
 struct CooperationService::Session {
   Session(std::uint64_t id, const ServiceConfig& cfg)
-      : peerId(id), tracker(cfg.tracker),
-        rng(sessionSeed(cfg.seed, id)) {
+      : peerId(id), tracker(cfg.tracker), rng(sessionSeed(cfg.seed, id)),
+        health(cfg.health) {
     stats.peerId = id;
   }
 
@@ -101,6 +133,11 @@ struct CooperationService::Session {
   PoseTracker tracker;
   Rng rng;
   SessionStats stats;
+  PeerHealthFsm health;
+  // Replay guard state: metadata of the last accepted message.
+  bool haveLastMeta = false;
+  std::uint32_t lastFrameIndex = 0;
+  std::int64_t lastCaptureMicros = 0;
 };
 
 CooperationService::CooperationService(ServiceConfig config)
@@ -127,9 +164,11 @@ CooperationService::Session& CooperationService::sessionFor(
 
 std::vector<std::uint8_t> CooperationService::sendFrame(
     const CarPerceptionData& data, std::uint64_t senderId,
-    std::uint32_t frameIndex, wire::EncodeStats* stats) const {
-  return wire::encode(toMessage(data, senderId, frameIndex), cfg_.wire,
-                      stats);
+    std::uint32_t frameIndex, wire::EncodeStats* stats,
+    const Pose2* posePrior, std::int64_t captureTimeMicros) const {
+  return wire::encode(
+      toMessage(data, senderId, frameIndex, captureTimeMicros, posePrior),
+      cfg_.wire, stats);
 }
 
 std::vector<SessionFrameResult> CooperationService::processFrame(
@@ -162,6 +201,12 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       Session& session = *bySlot[static_cast<std::size_t>(i)];
       SessionFrameResult& res = results[static_cast<std::size_t>(i)];
       res.peerId = in.peerId;
+      if (cfg_.enableHealth && !session.health.shouldProcess()) {
+        // Quarantined: the payload is not even decoded — exclusion is the
+        // whole point. The FSM's backoff counts down in the merge below.
+        res.quarantined = true;
+        continue;
+      }
       if (in.payload == nullptr) {
         res.track = session.tracker.coast(&res.report);
         continue;
@@ -177,6 +222,24 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
         continue;
       }
       const wire::CooperativeMessage& msg = decoded.message;
+      if (cfg_.enableReplayGuard && session.haveLastMeta) {
+        // Monotonicity guard: a replayed payload carries its ORIGINAL
+        // frame index / capture time, which cannot advance past the last
+        // accepted message. Capture times of 0 mean "not stamped" and are
+        // exempt (frame indices alone still guard those senders).
+        const bool staleIndex = msg.frameIndex <= session.lastFrameIndex;
+        const bool staleCapture =
+            msg.captureTimeMicros != 0 && session.lastCaptureMicros != 0 &&
+            msg.captureTimeMicros <= session.lastCaptureMicros;
+        if (staleIndex || staleCapture) {
+          res.replayRejected = true;
+          res.track = session.tracker.coast(&res.report);
+          continue;
+        }
+      }
+      session.haveLastMeta = true;
+      session.lastFrameIndex = msg.frameIndex;
+      session.lastCaptureMicros = msg.captureTimeMicros;
       const int expected = cfg_.tracker.aligner.bev.imageSize();
       if (msg.bvImage.empty() || msg.bvImage.width() != expected ||
           msg.bvImage.height() != expected) {
@@ -184,6 +247,11 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
         res.track = session.tracker.coast(&res.report);
         continue;
       }
+      // The claim is recorded whether or not it is used as a warm start:
+      // the cross-peer consistency vote below compares CLAIMS against
+      // RECOVERED poses, and a spoofer's geometry recovers fine.
+      res.hasClaim = msg.hasPosePrior;
+      res.claim = msg.posePrior;
       if (cfg_.usePosePriors && msg.hasPosePrior &&
           !session.tracker.hasTrack()) {
         session.tracker.acceptExternalPose(msg.posePrior);
@@ -193,8 +261,49 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
     }
   });
 
-  // Deterministic merge: stats and service.* metrics update in
-  // session-id order, never in completion order.
+  // Cross-peer consistency (serial, deterministic): with >= minPeers
+  // freshly recovered sessions that also carried claims, every pair's
+  // recovered relative pose T_a^-1∘T_b must match the claimed relative
+  // P_a^-1∘P_b. A lying claim poisons every pair the liar is in, so the
+  // liar (and only the liar) loses the majority vote. Honest sessions are
+  // never mutated — their results stay byte-identical to a no-liar run.
+  if (cfg_.enableHealth && cfg_.enableConsistency) {
+    std::vector<std::size_t> voters;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SessionFrameResult& r = results[i];
+      const bool fresh = r.track.poseValid &&
+                         (r.track.outcome == TrackerOutcome::Recovered ||
+                          r.track.outcome == TrackerOutcome::RecoveredRelaxed);
+      if (fresh && r.hasClaim && !r.quarantined && !r.replayRejected)
+        voters.push_back(i);
+    }
+    const int p = static_cast<int>(voters.size());
+    if (p >= cfg_.consistencyMinPeers) {
+      for (int a = 0; a < p; ++a) {
+        int mismatches = 0;
+        const SessionFrameResult& ra = results[voters[static_cast<std::size_t>(a)]];
+        for (int b = 0; b < p; ++b) {
+          if (a == b) continue;
+          const SessionFrameResult& rb =
+              results[voters[static_cast<std::size_t>(b)]];
+          const Pose2 recovered =
+              ra.track.pose.inverse().compose(rb.track.pose);
+          const Pose2 claimed = ra.claim.inverse().compose(rb.claim);
+          const PoseError err = poseError(recovered, claimed);
+          if (err.translation > cfg_.consistencyMaxTranslation ||
+              err.rotationDeg > cfg_.consistencyMaxRotationDeg)
+            mismatches += 1;
+        }
+        // Strict majority of this voter's pairs disagree => outlier.
+        if (2 * mismatches > p - 1)
+          results[voters[static_cast<std::size_t>(a)]].consistencyOutlier =
+              true;
+      }
+    }
+  }
+
+  // Deterministic merge: stats, health FSM steps and service.*/health.*
+  // metrics update in session-id order, never in completion order.
   std::unordered_map<std::uint64_t, std::size_t> slotOf;
   slotOf.reserve(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i)
@@ -202,29 +311,86 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   for (auto& [peerId, session] : sessions_) {
     auto found = slotOf.find(peerId);
     if (found == slotOf.end()) continue;  // peer absent this frame
-    const SessionFrameResult& res = results[found->second];
+    SessionFrameResult& res = results[found->second];
     SessionStats& st = session->stats;
     st.frames += 1;
-    st.outcomes[static_cast<std::size_t>(res.track.outcome)] += 1;
-    st.lastConfidence = res.track.confidence;
-    if (!res.received) {
-      st.linkDrops += 1;
-      BBA_COUNTER_ADD("service.link_drops", 1);
-    } else if (res.decodeError != wire::DecodeError::None) {
-      st.decodeFailed += 1;
-      st.rejectByCause[static_cast<std::size_t>(res.decodeError)] += 1;
-      BBA_COUNTER_ADD("service.decode_failed", 1);
+    if (res.quarantined) {
+      st.quarantinedFrames += 1;
+      BBA_COUNTER_ADD("health.quarantined_frames", 1);
     } else {
-      st.decodeOk += 1;
-      st.bytesReceived += static_cast<std::int64_t>(res.payloadBytes);
-      if (res.payloadMismatch) {
-        st.payloadMismatch += 1;
-        BBA_COUNTER_ADD("service.payload_mismatch", 1);
+      st.outcomes[static_cast<std::size_t>(res.track.outcome)] += 1;
+      st.lastConfidence = res.track.confidence;
+      if (!res.received) {
+        st.linkDrops += 1;
+        BBA_COUNTER_ADD("service.link_drops", 1);
+      } else if (res.decodeError != wire::DecodeError::None) {
+        st.decodeFailed += 1;
+        st.rejectByCause[static_cast<std::size_t>(res.decodeError)] += 1;
+        BBA_COUNTER_ADD("service.decode_failed", 1);
+      } else if (res.replayRejected) {
+        st.replayRejects += 1;
+        BBA_COUNTER_ADD("health.replay_rejected", 1);
+      } else {
+        st.decodeOk += 1;
+        st.bytesReceived += static_cast<std::int64_t>(res.payloadBytes);
+        if (res.payloadMismatch) {
+          st.payloadMismatch += 1;
+          BBA_COUNTER_ADD("service.payload_mismatch", 1);
+        }
+      }
+      if (res.report.validationRejected) st.validationRejects += 1;
+      if (res.report.gateRejected) st.gateRejects += 1;
+      if (res.consistencyOutlier) {
+        st.consistencyOutliers += 1;
+        BBA_COUNTER_ADD("health.consistency_outliers", 1);
+      }
+      if (res.track.poseValid) {
+        st.posesReported += 1;
+        BBA_COUNTER_ADD("service.poses_reported", 1);
       }
     }
-    if (res.track.poseValid) {
-      st.posesReported += 1;
-      BBA_COUNTER_ADD("service.poses_reported", 1);
+    if (cfg_.enableHealth) {
+      const PeerHealthConfig& h = cfg_.health;
+      int penalty = 0;
+      if (!res.quarantined) {
+        // A pure link drop is weather, not malice: no penalty. Everything
+        // a *sender* controls feeds the FSM.
+        if (res.received && res.decodeError != wire::DecodeError::None)
+          penalty += h.penaltyDecodeReject;
+        if (res.payloadMismatch) penalty += h.penaltyDecodeReject;
+        if (res.replayRejected) penalty += h.penaltyReplay;
+        if (res.report.validationRejected) penalty += h.penaltyValidation;
+        if (res.report.gateRejected) penalty += h.penaltyGateReject;
+        if (res.consistencyOutlier) penalty += h.penaltyConsistency;
+      }
+      const PeerHealth before = session->health.state();
+      res.health = session->health.onFrame(res.quarantined ? 0 : penalty);
+      BBA_COUNTER_ADD("health.frames", 1);
+      BBA_HISTOGRAM_OBSERVE("health.penalty", static_cast<double>(penalty));
+      BBA_HISTOGRAM_OBSERVE("health.suspicion",
+                            static_cast<double>(session->health.suspicion()));
+      if (res.health != before) {
+        switch (res.health) {
+          case PeerHealth::Healthy:
+            BBA_COUNTER_ADD("health.to_healthy", 1);
+            break;
+          case PeerHealth::Suspect:
+            BBA_COUNTER_ADD("health.to_suspect", 1);
+            break;
+          case PeerHealth::Quarantined:
+            BBA_COUNTER_ADD("health.to_quarantined", 1);
+            break;
+          case PeerHealth::Probing:
+            BBA_COUNTER_ADD("health.to_probing", 1);
+            break;
+        }
+      }
+      st.health = session->health.state();
+      st.suspicion = session->health.suspicion();
+      st.quarantines = session->health.quarantines();
+      st.healthTransitions = session->health.transitions();
+    } else {
+      res.health = PeerHealth::Healthy;
     }
   }
   frames_ += 1;
@@ -252,6 +418,16 @@ ServiceReport CooperationService::report() const {
     for (std::size_t i = 0; i < st.outcomes.size(); ++i)
       rep.aggregate.outcomes[i] += st.outcomes[i];
     rep.aggregate.posesReported += st.posesReported;
+    rep.aggregate.suspicion += st.suspicion;
+    rep.aggregate.quarantines += st.quarantines;
+    rep.aggregate.quarantinedFrames += st.quarantinedFrames;
+    rep.aggregate.replayRejects += st.replayRejects;
+    rep.aggregate.validationRejects += st.validationRejects;
+    rep.aggregate.gateRejects += st.gateRejects;
+    rep.aggregate.consistencyOutliers += st.consistencyOutliers;
+    for (std::size_t a = 0; a < st.healthTransitions.size(); ++a)
+      for (std::size_t b = 0; b < st.healthTransitions[a].size(); ++b)
+        rep.aggregate.healthTransitions[a][b] += st.healthTransitions[a][b];
     confidenceSum += st.lastConfidence;
   }
   if (!rep.sessions.empty())

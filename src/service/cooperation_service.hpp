@@ -9,6 +9,8 @@
 
 #include "common/rng.hpp"
 #include "core/bb_align.hpp"
+#include "geom/pose2.hpp"
+#include "service/peer_health.hpp"
 #include "stream/pose_tracker.hpp"
 #include "wire/message.hpp"
 
@@ -32,6 +34,29 @@ struct ServiceConfig {
   /// update — the peer's own estimate (GPS, a previous lock) warm-starts
   /// the track.
   bool usePosePriors = true;
+
+  /// Per-peer trust FSM (src/service/peer_health.hpp): integrates decode
+  /// rejects, replay-guard hits, validation/gate demotions and
+  /// cross-peer-consistency votes into healthy/suspect/quarantined/probing,
+  /// and excludes quarantined peers from processing entirely.
+  bool enableHealth = true;
+  PeerHealthConfig health;
+
+  /// Replay guard: reject a cleanly decoded message whose frame index is
+  /// non-increasing (or whose capture time runs backwards) relative to the
+  /// last accepted message of the same session.
+  bool enableReplayGuard = true;
+
+  /// Cross-peer consistency: with >= consistencyMinPeers freshly locked
+  /// sessions that carried pose-prior claims, compare each pair's
+  /// recovered relative pose T_a^-1∘T_b against the claimed relative
+  /// P_a^-1∘P_b; a peer whose pairs disagree by majority is flagged (the
+  /// honest peers outvote a single liar). Never mutates honest sessions,
+  /// so enabling it keeps honest results byte-identical.
+  bool enableConsistency = true;
+  int consistencyMinPeers = 3;
+  double consistencyMaxTranslation = 2.0;
+  double consistencyMaxRotationDeg = 10.0;
 };
 
 /// One peer's input for one service frame.
@@ -53,6 +78,20 @@ struct SessionFrameResult {
   /// The decoded message carried no BV image or one whose dimensions do
   /// not match this service's aligner; the frame was coasted.
   bool payloadMismatch = false;
+  /// The session was quarantined this frame: nothing was decoded or
+  /// tracked (track/report hold their defaults).
+  bool quarantined = false;
+  /// A cleanly decoded message violated frame-index/capture-time
+  /// monotonicity and was rejected by the replay guard; the frame coasted.
+  bool replayRejected = false;
+  /// The message carried a pose-prior claim (recorded for the cross-peer
+  /// consistency vote even when the track is warm).
+  bool hasClaim = false;
+  Pose2 claim;
+  /// Outvoted in the cross-peer consistency check this frame.
+  bool consistencyOutlier = false;
+  /// FSM state after this frame's health step.
+  PeerHealth health = PeerHealth::Healthy;
   TrackerResult track;
   TrackerReport report;
 };
@@ -75,6 +114,22 @@ struct SessionStats {
   /// Frames that reported a valid pose.
   int posesReported = 0;
   double lastConfidence = 0.0;
+
+  // ---- trust / health accounting (PR 5) --------------------------------
+  /// FSM state after the session's latest frame.
+  PeerHealth health = PeerHealth::Healthy;
+  int suspicion = 0;
+  /// Times the peer entered quarantine.
+  int quarantines = 0;
+  /// Frames skipped because the peer was quarantined.
+  int quarantinedFrames = 0;
+  int replayRejects = 0;
+  int validationRejects = 0;
+  int gateRejects = 0;
+  int consistencyOutliers = 0;
+  /// FSM transition tally, [from][to] (indices follow PeerHealth).
+  std::array<std::array<int, kPeerHealthCount>, kPeerHealthCount>
+      healthTransitions{};
 };
 
 /// Deterministic snapshot of a service: per-session stats in session-id
@@ -88,14 +143,18 @@ struct ServiceReport {
 
   /// One JSON object with stable key order; byte-identical across runs
   /// and thread counts for the same scenario (tests/service_test.cpp).
+  /// Contains no wall-clock fields — per-frame timings live in the
+  /// embedded TrackerReport JSON, which takes toJson(includeTimings).
   [[nodiscard]] std::string toJson() const;
 };
 
 /// Member-wise bridge between the core payload type and the wire message
-/// (kept here so `wire` does not depend on `core`).
+/// (kept here so `wire` does not depend on `core`). A non-null `posePrior`
+/// is embedded as the sender's claimed relative pose.
 [[nodiscard]] wire::CooperativeMessage toMessage(
     const CarPerceptionData& data, std::uint64_t senderId,
-    std::uint32_t frameIndex, std::int64_t captureTimeMicros = 0);
+    std::uint32_t frameIndex, std::int64_t captureTimeMicros = 0,
+    const Pose2* posePrior = nullptr);
 [[nodiscard]] CarPerceptionData toCarData(const wire::CooperativeMessage& msg);
 
 /// Multi-peer cooperation endpoint: owns one session (PoseTracker + RNG
@@ -127,7 +186,9 @@ class CooperationService {
   [[nodiscard]] std::vector<std::uint8_t> sendFrame(
       const CarPerceptionData& data, std::uint64_t senderId,
       std::uint32_t frameIndex,
-      wire::EncodeStats* stats = nullptr) const;
+      wire::EncodeStats* stats = nullptr,
+      const Pose2* posePrior = nullptr,
+      std::int64_t captureTimeMicros = 0) const;
 
   /// Process one frame of received traffic: decode every peer's payload,
   /// run each session's tracker step (cross-session parallel), and return

@@ -1,0 +1,97 @@
+#include "service/peer_health.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bba::service {
+
+const char* toString(PeerHealth s) {
+  switch (s) {
+    case PeerHealth::Healthy:
+      return "healthy";
+    case PeerHealth::Suspect:
+      return "suspect";
+    case PeerHealth::Quarantined:
+      return "quarantined";
+    case PeerHealth::Probing:
+      return "probing";
+  }
+  return "?";
+}
+
+PeerHealthFsm::PeerHealthFsm(PeerHealthConfig config) : cfg_(config) {
+  BBA_ASSERT_MSG(cfg_.suspectThreshold >= 1, "suspectThreshold must be >= 1");
+  BBA_ASSERT_MSG(cfg_.quarantineThreshold > cfg_.suspectThreshold,
+                 "quarantineThreshold must exceed suspectThreshold");
+  BBA_ASSERT_MSG(cfg_.backoffBaseFrames >= 1, "backoffBaseFrames must be >= 1");
+  BBA_ASSERT_MSG(cfg_.backoffMaxFrames >= cfg_.backoffBaseFrames,
+                 "backoffMaxFrames must be >= backoffBaseFrames");
+  BBA_ASSERT_MSG(cfg_.probationFrames >= 1, "probationFrames must be >= 1");
+}
+
+void PeerHealthFsm::moveTo(PeerHealth next) {
+  transitions_[static_cast<std::size_t>(state_)]
+              [static_cast<std::size_t>(next)] += 1;
+  state_ = next;
+}
+
+void PeerHealthFsm::enterQuarantine() {
+  quarantines_ += 1;
+  // Deterministic exponential backoff in FRAMES: base * 2^(n-1), capped.
+  // Shift count bounded by the cap check, so no UB for large n.
+  long long b = cfg_.backoffBaseFrames;
+  for (int i = 1; i < quarantines_ && b < cfg_.backoffMaxFrames; ++i) b *= 2;
+  backoff_ = static_cast<int>(
+      std::min<long long>(b, cfg_.backoffMaxFrames));
+  inQuarantine_ = 0;
+  moveTo(PeerHealth::Quarantined);
+}
+
+PeerHealth PeerHealthFsm::onFrame(int penalty) {
+  BBA_ASSERT(penalty >= 0);
+  switch (state_) {
+    case PeerHealth::Quarantined:
+      // Not processed: the penalty cannot exist; count the backoff down.
+      inQuarantine_ += 1;
+      if (inQuarantine_ >= backoff_) {
+        suspicion_ = 0;
+        probeClean_ = 0;
+        moveTo(PeerHealth::Probing);
+      }
+      break;
+    case PeerHealth::Probing:
+      // Probation: any offense re-quarantines with a doubled backoff; a
+      // clean streak of probationFrames restores full trust.
+      if (penalty > 0) {
+        suspicion_ = cfg_.quarantineThreshold;
+        enterQuarantine();
+      } else {
+        probeClean_ += 1;
+        if (probeClean_ >= cfg_.probationFrames) {
+          suspicion_ = 0;
+          moveTo(PeerHealth::Healthy);
+        }
+      }
+      break;
+    case PeerHealth::Healthy:
+    case PeerHealth::Suspect:
+      if (penalty > 0) {
+        suspicion_ += penalty;
+      } else {
+        suspicion_ = std::max(0, suspicion_ - cfg_.decayPerCleanFrame);
+      }
+      if (suspicion_ >= cfg_.quarantineThreshold) {
+        enterQuarantine();
+      } else if (state_ == PeerHealth::Healthy &&
+                 suspicion_ >= cfg_.suspectThreshold) {
+        moveTo(PeerHealth::Suspect);
+      } else if (state_ == PeerHealth::Suspect && suspicion_ == 0) {
+        moveTo(PeerHealth::Healthy);
+      }
+      break;
+  }
+  return state_;
+}
+
+}  // namespace bba::service

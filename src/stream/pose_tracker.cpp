@@ -55,7 +55,7 @@ Pose2 extrapolatePose(const Pose2& poseA, int frameA, const Pose2& poseB,
                wrapAngle(poseB.theta + vtheta * ahead)};
 }
 
-std::string TrackerReport::toJson() const {
+std::string TrackerReport::toJson(bool includeTimings) const {
   std::string out;
   out.reserve(2048);
   char buf[768];
@@ -65,21 +65,25 @@ std::string TrackerReport::toJson() const {
       "\"remote_received\":%s,\"prediction_available\":%s,"
       "\"prediction\":{\"x\":%.6f,\"y\":%.6f,\"theta\":%.6f},"
       "\"innovation\":{\"translation\":%.6f,\"rotation_deg\":%.6f},"
-      "\"gate_rejected\":%s,\"consecutive_misses\":%d,"
+      "\"gate_rejected\":%s,\"validation_rejected\":%s,"
+      "\"consecutive_misses\":%d,"
       "\"track_lost\":%s,\"rebootstrapped\":%s,"
       "\"relaxed_attempted\":%s,",
       frameIndex, toString(outcome), confidence,
       remoteReceived ? "true" : "false",
       predictionAvailable ? "true" : "false", prediction.t.x, prediction.t.y,
       prediction.theta, innovationTranslation, innovationRotationDeg,
-      gateRejected ? "true" : "false", consecutiveMisses,
+      gateRejected ? "true" : "false", validationRejected ? "true" : "false",
+      consecutiveMisses,
       trackLostThisFrame ? "true" : "false", rebootstrapped ? "true" : "false",
       relaxedAttempted ? "true" : "false");
   out += buf;
   out += "\"recovery\":";
-  out += remoteReceived ? recovery.toJson() : std::string("null");
+  out += remoteReceived ? recovery.toJson(includeTimings)
+                        : std::string("null");
   out += ",\"relaxedRecovery\":";
-  out += relaxedAttempted ? relaxedRecovery.toJson() : std::string("null");
+  out += relaxedAttempted ? relaxedRecovery.toJson(includeTimings)
+                          : std::string("null");
   out += "}";
   return out;
 }
@@ -113,6 +117,8 @@ void recordTrackerMetrics(const TrackerReport& rep) {
       break;
   }
   if (rep.gateRejected) reg->counter("stream.gate_rejected").increment();
+  if (rep.validationRejected)
+    reg->counter("validate.gate_rejected").increment();
   if (rep.relaxedAttempted) reg->counter("stream.relaxed_retries").increment();
   if (rep.rebootstrapped) reg->counter("stream.rebootstraps").increment();
   reg->histogram("stream.confidence").observe(rep.confidence);
@@ -250,6 +256,14 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
            innov.rotationDeg <= cfg_.maxRotationInnovationDeg * gateScale;
   };
 
+  // The gt-free validation gate: a recovery may report success and still
+  // be geometrically inconsistent with the payload it came from (spoofed
+  // boxes, impostor BV consensus). Such a lock is demoted to a miss.
+  auto validated = [&](const PoseRecoveryResult& r) {
+    return !cfg_.enableValidationGate || !r.validation.computed ||
+           r.validation.score >= cfg_.minValidationScore;
+  };
+
   RecoveryHints hints;
   const RecoveryHints* hintsPtr = nullptr;
   if (prediction) {
@@ -265,7 +279,8 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
     rep.innovationTranslation = innov.translation;
     rep.innovationRotationDeg = innov.rotationDeg;
   }
-  if (primary.success && withinGate(primary.estimate)) {
+  if (primary.success && withinGate(primary.estimate) &&
+      validated(primary)) {
     const bool relock = lostSinceAccept_;
     accept(frame, primary.estimate);
     lostSinceAccept_ = false;
@@ -283,7 +298,10 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
     if (report) *report = rep;
     return out;
   }
-  rep.gateRejected = primary.success;  // succeeded but outside the gate
+  // Succeeded but rejected: attribute the demotion to the gate that fired.
+  rep.gateRejected = primary.success && !withinGate(primary.estimate);
+  rep.validationRejected =
+      primary.success && withinGate(primary.estimate) && !validated(primary);
 
   // Rung 1: relaxed retry, seeded from the prediction. Only meaningful
   // when a prediction exists — without one the gate cannot protect the
@@ -293,7 +311,12 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
     rep.relaxedAttempted = true;
     const PoseRecoveryResult retried =
         relaxed_.recover(other, ego, rng, &rep.relaxedRecovery, hintsPtr);
-    if (retried.success && withinGate(retried.estimate)) {
+    if (retried.success && withinGate(retried.estimate) &&
+        !validated(retried)) {
+      rep.validationRejected = true;
+    }
+    if (retried.success && withinGate(retried.estimate) &&
+        validated(retried)) {
       rep.rebootstrapped = lostSinceAccept_;
       accept(frame, retried.estimate);
       lostSinceAccept_ = false;

@@ -47,6 +47,18 @@ struct PoseTrackerConfig {
   double maxRotationInnovationDeg = 12.0;  ///< degrees
   double gateGrowthPerMiss = 0.5;
 
+  /// Gt-free validation gate: a "successful" recovery whose
+  /// PoseValidation score (see obs/report.hpp) falls below this is demoted
+  /// to a miss — a geometrically inconsistent lock never replaces the
+  /// trusted pose. Deterministic geometry, so the gate preserves the
+  /// byte-identical-at-any-thread-count contract.
+  /// Calibrated against the pinned scenarios: honest recoveries score
+  /// >= ~0.72, coherent box lies <= ~0.61 (see tests/stream_test.cpp) —
+  /// 0.5 rejects most attacks with headroom for degraded-but-honest
+  /// payloads; sensitivity-critical deployments raise it toward 0.65.
+  bool enableValidationGate = true;
+  double minValidationScore = 0.5;
+
   /// Confidence of a rung-1 (relaxed) acceptance; rung 0 reports 1.0.
   double relaxedConfidence = 0.8;
   /// Per-coasted-frame multiplicative confidence decay of rung 2.
@@ -93,6 +105,9 @@ struct TrackerReport {
   double innovationRotationDeg = 0.0;
   /// The primary measurement succeeded but fell outside the gate.
   bool gateRejected = false;
+  /// A successful measurement (primary or relaxed) passed the innovation
+  /// gate but failed the gt-free validation gate and was demoted.
+  bool validationRejected = false;
 
   int consecutiveMisses = 0;
   bool trackLostThisFrame = false;
@@ -105,8 +120,10 @@ struct TrackerReport {
   PoseRecoveryReport relaxedRecovery;
 
   /// One JSON object with every field above (stable key names); embeds
-  /// the recover() reports under "recovery" / "relaxedRecovery".
-  [[nodiscard]] std::string toJson() const;
+  /// the recover() reports under "recovery" / "relaxedRecovery". With
+  /// `includeTimings == false` the embedded reports omit their wall-clock
+  /// "ms" objects, making the export byte-comparable across runs.
+  [[nodiscard]] std::string toJson(bool includeTimings = true) const;
 };
 
 /// The pose a tracker reports for one frame.

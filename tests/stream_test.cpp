@@ -130,6 +130,140 @@ TEST(FaultInjector, BoxCapKeepsStrongestAndIsDeterministic) {
   }
 }
 
+TEST(FaultInjector, AdversarialChannelsArePureFunctionsOfSeedAndFrame) {
+  FaultConfig cfg;
+  cfg.seed = 13;
+  cfg.poseSpoofProb = 0.5;
+  cfg.replayProb = 0.5;
+  cfg.maxReplayLag = 3;
+  const FaultInjector a(cfg), b(cfg);
+  // Opposite query orders: frame k's adversarial realization must not
+  // depend on which frames were sampled before it.
+  for (int k = 0; k < 64; ++k) {
+    const AdversarialFaults fa = a.adversarialFaults(k);
+    const AdversarialFaults fb = b.adversarialFaults(63 - (63 - k));
+    EXPECT_EQ(fa.poseSpoofed, fb.poseSpoofed) << k;
+    EXPECT_EQ(fa.spoofDelta.t.x, fb.spoofDelta.t.x) << k;
+    EXPECT_EQ(fa.spoofDelta.t.y, fb.spoofDelta.t.y) << k;
+    EXPECT_EQ(fa.spoofDelta.theta, fb.spoofDelta.theta) << k;
+    EXPECT_EQ(fa.replayed, fb.replayed) << k;
+    EXPECT_EQ(fa.replayLagFrames, fb.replayLagFrames) << k;
+  }
+}
+
+TEST(FaultInjector, AdversarialChannelsAreDecorrelatedFromTheOthers) {
+  // Enabling the adversarial channels must not re-randomize the link /
+  // sector / box / payload realizations — they draw from fresh streams
+  // (5, 6, 7) — and the pose-spoof realization must not shift when the
+  // box channels are enabled on top.
+  FaultConfig base;
+  base.seed = 7;
+  base.frameDropProb = 0.25;
+  base.sectorDropProb = 0.3;
+  FaultConfig withAdv = base;
+  withAdv.poseSpoofProb = 0.5;
+  withAdv.replayProb = 0.5;
+  withAdv.boxTeleportProb = 0.5;
+  withAdv.boxFabricateProb = 0.5;
+  const FaultInjector a(base), b(withAdv);
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(a.frameFaults(k).dropped, b.frameFaults(k).dropped) << k;
+    EXPECT_EQ(a.frameFaults(k).sectorDropped, b.frameFaults(k).sectorDropped)
+        << k;
+  }
+  FaultConfig poseOnly;
+  poseOnly.seed = 7;
+  poseOnly.poseSpoofProb = 0.5;
+  const FaultInjector c(poseOnly);
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(c.adversarialFaults(k).poseSpoofed,
+              b.adversarialFaults(k).poseSpoofed)
+        << k;
+    EXPECT_EQ(c.adversarialFaults(k).spoofDelta.t.x,
+              b.adversarialFaults(k).spoofDelta.t.x)
+        << k;
+  }
+}
+
+TEST(FaultInjector, FrameZeroNeverReplays) {
+  FaultConfig cfg;
+  cfg.replayProb = 1.0;
+  cfg.maxReplayLag = 3;
+  const FaultInjector inj(cfg);
+  const AdversarialFaults f0 = inj.adversarialFaults(0);
+  EXPECT_FALSE(f0.replayed);  // no past to replay
+  EXPECT_EQ(f0.replayLagFrames, 0);
+  const AdversarialFaults f5 = inj.adversarialFaults(5);
+  EXPECT_TRUE(f5.replayed);
+  EXPECT_GE(f5.replayLagFrames, 1);
+  EXPECT_LE(f5.replayLagFrames, 3);
+}
+
+TEST(FaultInjector, SpoofDeltaHasThePinnedMagnitude) {
+  FaultConfig cfg;
+  cfg.poseSpoofProb = 1.0;
+  cfg.poseSpoofOffset = 8.0;
+  cfg.poseSpoofYawDeg = 25.0;
+  const FaultInjector inj(cfg);
+  for (int k = 0; k < 8; ++k) {
+    const AdversarialFaults f = inj.adversarialFaults(k);
+    ASSERT_TRUE(f.poseSpoofed);
+    EXPECT_NEAR(f.spoofDelta.t.norm(), 8.0, 1e-9) << k;
+    EXPECT_NEAR(std::abs(f.spoofDelta.theta), 25.0 * kDegToRad, 1e-9) << k;
+  }
+}
+
+TEST(FaultInjector, TeleportMovesEveryBoxByOneCommonOffset) {
+  std::vector<OrientedBox2> boxes;
+  for (int i = 0; i < 5; ++i)
+    boxes.push_back(OrientedBox2{{2.0 * i, -i * 1.0}, {4.0, 2.0}, 0.1 * i});
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.boxTeleportProb = 1.0;
+  cfg.boxTeleportOffset = 2.5;
+  const FaultInjector inj(cfg);
+  std::vector<OrientedBox2> moved = boxes, again = boxes;
+  inj.applyAdversarialBoxFaults(moved, 3);
+  inj.applyAdversarialBoxFaults(again, 3);
+  ASSERT_EQ(moved.size(), boxes.size());
+  const Vec2 offset = moved[0].center - boxes[0].center;
+  EXPECT_NEAR(offset.norm(), 2.5, 1e-9);
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    // One COMMON offset (a coherent lie), byte-identical on re-query.
+    // NEAR, not EQ: (a + offset) - a re-rounds per base value.
+    EXPECT_NEAR(moved[i].center.x - boxes[i].center.x, offset.x, 1e-12) << i;
+    EXPECT_NEAR(moved[i].center.y - boxes[i].center.y, offset.y, 1e-12) << i;
+    EXPECT_EQ(moved[i].yaw, boxes[i].yaw) << i;
+    EXPECT_EQ(moved[i].center.x, again[i].center.x) << i;
+  }
+}
+
+TEST(FaultInjector, FabricationAppendsDeterministicGhosts) {
+  std::vector<OrientedBox2> boxes = {OrientedBox2{{1.0, 2.0}, {4.0, 2.0}, 0.0}};
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.boxFabricateProb = 1.0;
+  cfg.boxFabricateCount = 4;
+  cfg.boxFabricateRange = 40.0;
+  const FaultInjector inj(cfg);
+  std::vector<OrientedBox2> a = boxes, b = boxes;
+  inj.applyAdversarialBoxFaults(a, 2);
+  inj.applyAdversarialBoxFaults(b, 2);
+  ASSERT_EQ(a.size(), 5u);
+  // Genuine boxes stay in place and in front; ghosts are appended.
+  EXPECT_EQ(a[0].center.x, boxes[0].center.x);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(std::abs(a[i].center.x), 40.0) << i;
+    EXPECT_LE(std::abs(a[i].center.y), 40.0) << i;
+    EXPECT_EQ(a[i].center.x, b[i].center.x) << i;
+    EXPECT_EQ(a[i].yaw, b[i].yaw) << i;
+  }
+  // A different frame fabricates different ghosts.
+  std::vector<OrientedBox2> c = boxes;
+  inj.applyAdversarialBoxFaults(c, 3);
+  EXPECT_NE(a[1].center.x, c[1].center.x);
+}
+
 TEST(FaultInjector, BoxNoisePerturbsCenterAndYawDeterministically) {
   Detections dets(3);
   dets[0].box.center = Vec3{1.0, 2.0, 0.0};
@@ -570,6 +704,131 @@ TEST(PoseTrackerStream, TrackLossThenRebootstrap) {
   EXPECT_TRUE(rep.rebootstrapped);
   EXPECT_FALSE(rep.predictionAvailable);  // history was cleared
   EXPECT_TRUE(tracker.hasTrack());
+}
+
+// ---- gt-free validation gate (pinned bad-geometry payload) ----------------
+
+/// Reduced-iteration tracker config: 6x fewer RANSAC draws than the
+/// defaults, still recovers every payload of the seed-7 scenario.
+PoseTrackerConfig cheapTrackerConfig() {
+  PoseTrackerConfig tc;
+  tc.aligner.ransacBv.iterations = 2000;
+  tc.aligner.ransacBox.iterations = 200;
+  return tc;
+}
+
+TEST(ValidationGate, CoherentBoxLieIsDemotedToAMiss) {
+  // Teleport every transmitted box by one common ~2.5 m offset (the
+  // adversarial box channel): stage 2 happily aligns the lied-about boxes,
+  // recover() reports success ~2.3 m off the truth — the exact
+  // wrong-but-"successful" case the gt-free gate exists for.
+  SequenceConfig sc;
+  sc.seed = 7;
+  sc.frames = 1;
+  sc.scenario.separation = 30.0;
+  const std::vector<StreamFrame> frames = cachedFrames(sc);
+  const PoseTrackerConfig tc = cheapTrackerConfig();
+  const BBAlign aligner(tc.aligner);
+  const CarPerceptionData ego =
+      aligner.makeCarData(frames[0].egoCloud, frames[0].egoDets);
+  const CarPerceptionData other =
+      aligner.makeCarData(frames[0].otherCloud, frames[0].otherDets);
+
+  FaultConfig fc;
+  fc.seed = 5;
+  fc.boxTeleportProb = 1.0;
+  CarPerceptionData lied = other;
+  FaultInjector(fc).applyAdversarialBoxFaults(lied.boxes, 0);
+
+  PoseTracker tracker(tc);
+  Rng rng(11);
+  TrackerReport rep;
+  const TrackerResult r = tracker.update(lied, ego, rng, &rep);
+  // The recovery itself "succeeded"...
+  EXPECT_TRUE(rep.recovery.success);
+  // ...but its self-validation score collapsed (pinned: 0.37 vs the
+  // honest 0.81, threshold 0.5) and the gate demoted it to a miss.
+  EXPECT_LT(rep.recovery.validation.score, tc.minValidationScore);
+  EXPECT_TRUE(rep.validationRejected);
+  EXPECT_FALSE(r.poseValid);
+  EXPECT_EQ(r.outcome, TrackerOutcome::Bootstrapping);
+  EXPECT_FALSE(tracker.hasTrack());
+
+  // The honest payload passes the same gate and locks.
+  const TrackerResult h = tracker.update(other, ego, rng, &rep);
+  EXPECT_EQ(h.outcome, TrackerOutcome::Recovered);
+  EXPECT_FALSE(rep.validationRejected);
+  EXPECT_GE(rep.recovery.validation.score, tc.minValidationScore);
+  EXPECT_GT(rep.recovery.validation.boxesCompared, 0);
+}
+
+// ---- tracker ladder property test (randomized drops, pinned seeds) --------
+
+TEST(PoseTrackerProperty, ConfidenceLadderAndRebootstrapFlagInvariants) {
+  // Randomized drop patterns over pinned seeds against one recoverable
+  // payload; the ladder invariants must hold on every trajectory:
+  //   (1) confidence is monotone non-increasing across consecutive coasts,
+  //   (2) a fresh lock resets confidence to 1.0,
+  //   (3) `rebootstrapped` is flagged exactly once per track-lost cycle.
+  SequenceConfig sc;
+  sc.seed = 7;
+  sc.frames = 1;
+  sc.scenario.separation = 30.0;
+  const std::vector<StreamFrame> frames = cachedFrames(sc);
+  PoseTrackerConfig tc = cheapTrackerConfig();
+  tc.maxConsecutiveMisses = 2;
+  const BBAlign aligner(tc.aligner);
+  const CarPerceptionData ego =
+      aligner.makeCarData(frames[0].egoCloud, frames[0].egoDets);
+  const CarPerceptionData other =
+      aligner.makeCarData(frames[0].otherCloud, frames[0].otherDets);
+
+  int totalReboots = 0;
+  for (const std::uint64_t seed : {std::uint64_t{17}, std::uint64_t{29}}) {
+    PoseTracker tracker(tc);
+    Rng dropRng(seed);
+    Rng rng(seed ^ 0x5DEECE66DULL);
+    double prevConfidence = 0.0;
+    bool lostPending = false;  // a track loss not yet followed by a lock
+    for (int k = 0; k < 12; ++k) {
+      const bool drop = dropRng.uniform(0.0, 1.0) < 0.5;
+      TrackerReport rep;
+      const TrackerResult r =
+          drop ? tracker.coast(&rep) : tracker.update(other, ego, rng, &rep);
+      switch (r.outcome) {
+        case TrackerOutcome::Recovered:
+          // (2) every fresh lock resets confidence.
+          EXPECT_EQ(r.confidence, 1.0) << "seed " << seed << " frame " << k;
+          // (3) flagged iff this lock ends a track-lost cycle.
+          EXPECT_EQ(rep.rebootstrapped, lostPending)
+              << "seed " << seed << " frame " << k;
+          if (lostPending) ++totalReboots;
+          lostPending = false;
+          break;
+        case TrackerOutcome::RecoveredRelaxed:
+          EXPECT_EQ(rep.rebootstrapped, lostPending)
+              << "seed " << seed << " frame " << k;
+          if (lostPending) ++totalReboots;
+          lostPending = false;
+          break;
+        case TrackerOutcome::Extrapolated:
+          // (1) coasting only ever lowers confidence.
+          EXPECT_LT(r.confidence, prevConfidence)
+              << "seed " << seed << " frame " << k;
+          break;
+        case TrackerOutcome::TrackLost:
+          EXPECT_TRUE(rep.trackLostThisFrame);
+          EXPECT_FALSE(lostPending);  // at most one loss per cycle
+          lostPending = true;
+          break;
+        default:
+          break;
+      }
+      if (r.poseValid) prevConfidence = r.confidence;
+    }
+  }
+  // The pinned seeds exercise the full cycle at least twice.
+  EXPECT_GE(totalReboots, 2);
 }
 
 }  // namespace

@@ -130,6 +130,33 @@ def service_metric_names() -> list:
     return sorted(names)
 
 
+def health_metric_names() -> list:
+    names = set()
+    for src in sorted((REPO / "src" / "service").glob("*.cpp")):
+        names.update(re.findall(r"\"(health\.\w+)\"", src.read_text(
+            encoding="utf-8")))
+    return sorted(names)
+
+
+def validate_metric_names() -> list:
+    names = set()
+    for sub in ("core", "stream"):
+        for src in sorted((REPO / "src" / sub).glob("*.cpp")):
+            names.update(re.findall(r"\"(validate\.\w+)\"", src.read_text(
+                encoding="utf-8")))
+    return sorted(names)
+
+
+def peer_health_states() -> list:
+    """String forms of the PeerHealth FSM states (from toString)."""
+    source = (REPO / "src" / "service" / "peer_health.cpp").read_text(
+        encoding="utf-8")
+    states = re.findall(r"case PeerHealth::\w+:\s*return \"(\w+)\";", source)
+    if not states:
+        sys.exit("check_docs: cannot find PeerHealth states in peer_health.cpp")
+    return states
+
+
 def main() -> int:
     errors = []
     corpus = ""
@@ -155,10 +182,16 @@ def main() -> int:
             errors.append(
                 f"DecodeError value '{name}' is undocumented "
                 f"(not found in any checked document)")
-    for name in wire_metric_names() + service_metric_names():
+    for name in (wire_metric_names() + service_metric_names()
+                 + health_metric_names() + validate_metric_names()):
         if name not in corpus:
             errors.append(
                 f"metric '{name}' is undocumented "
+                f"(not found in any checked document)")
+    for name in peer_health_states():
+        if name not in corpus:
+            errors.append(
+                f"PeerHealth state '{name}' is undocumented "
                 f"(not found in any checked document)")
 
     if errors:
@@ -166,10 +199,14 @@ def main() -> int:
         for e in errors:
             print(f"  {e}")
         return 1
+    metric_count = (len(stream_metric_names()) + len(wire_metric_names())
+                    + len(service_metric_names()) + len(health_metric_names())
+                    + len(validate_metric_names()))
     print(f"docs-health: OK ({len(DOCS)} documents, "
           f"{len(recovery_failure_enumerators())} failure values, "
           f"{len(decode_error_enumerators())} decode-error values, "
-          f"{len(stream_metric_names()) + len(wire_metric_names()) + len(service_metric_names())} metrics)")
+          f"{len(peer_health_states())} health states, "
+          f"{metric_count} metrics)")
     return 0
 
 

@@ -11,7 +11,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DBBA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test service_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test service_test health_test -j"$(nproc)"
 
 # Force the pool on even when the host reports a single CPU: TSan finds
 # races through happens-before analysis, not timing, so timesliced worker
@@ -31,4 +31,11 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # suite drives that concurrency (incl. the 1-vs-8-thread report check)
 # without the heavyweight recover() pipeline scenarios.
 "$BUILD_DIR/tests/service_test" --gtest_filter='ServiceDecode.*'
+# Peer-health FSM, replay guard and quarantine exclusion all run inside
+# the parallel session region; the cheap suites drive every path. One
+# pinned adversarial-scenario test covers the consistency vote + real
+# recover() under the pool (the remaining scenario tests replay the same
+# code paths and are skipped as heavyweight).
+"$BUILD_DIR/tests/health_test" \
+  --gtest_filter='PeerHealthFsm.*:ReplayGuard.*:ServiceHealth.*:AdversarialScenario.SpooferIsOutvotedAndQuarantinedWithinTwoFrames'
 echo "tsan_check: no data races detected"
