@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string>
 #include <thread>
 
 #include "bev/bev_image.hpp"
@@ -21,6 +22,16 @@
 #include "features/mim.hpp"
 #include "match/ransac.hpp"
 #include "obs/obs.hpp"
+#include "service/cooperation_service.hpp"
+
+// Build type of the *bba library* under test, injected by bench/
+// targets.cmake from the CMake configuration. The system libbenchmark
+// package hardcodes its own "library_build_type" (its build, not ours)
+// into the JSON context, so we publish the truth under a separate key and
+// tools/distill_bench.py prefers it.
+#ifndef BBA_BUILD_TYPE
+#define BBA_BUILD_TYPE ""
+#endif
 
 namespace bba {
 namespace {
@@ -142,6 +153,40 @@ void BM_RansacRigid2D(benchmark::State& state) {
 }
 BENCHMARK(BM_RansacRigid2D)->Apply(threadArgs);
 
+/// One CooperationService frame with `peers` sessions all streaming the
+/// fixture payload. With the frame-scoped ego-feature cache the ego
+/// pipeline runs once per frame regardless of peer count, so ns/frame
+/// grows sub-linearly in `peers` (the per-peer residual is decode +
+/// other-image features + match + RANSAC). The replay guard is off so one
+/// pre-encoded payload can be replayed every iteration.
+void BM_ServiceProcessFrame(benchmark::State& state) {
+  ThreadLimit limit(static_cast<int>(state.range(1)));
+  const FramePair& pair = fixturePair();
+  service::ServiceConfig cfg;
+  cfg.enableReplayGuard = false;
+  service::CooperationService svc(cfg);
+  const BBAlign& aligner = fixtureAligner();
+  const CarPerceptionData ego =
+      aligner.makeCarData(pair.egoCloud, pair.egoDets);
+  const CarPerceptionData other =
+      aligner.makeCarData(pair.otherCloud, pair.otherDets);
+  const std::vector<std::uint8_t> payload = svc.sendFrame(other, 1, 1);
+
+  const int peers = static_cast<int>(state.range(0));
+  std::vector<service::PeerFrameInput> inputs;
+  for (int p = 0; p < peers; ++p)
+    inputs.push_back({static_cast<std::uint64_t>(p + 1), &payload});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.processFrame(ego, inputs));
+  }
+}
+BENCHMARK(BM_ServiceProcessFrame)
+    ->ArgNames({"peers", "threads"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 4});
+
 }  // namespace
 }  // namespace bba
 
@@ -149,6 +194,12 @@ BENCHMARK(BM_RansacRigid2D)->Apply(threadArgs);
 // sinks are installed before any benchmark runs and flushed after the last.
 int main(int argc, char** argv) {
   bba::obs::EnvObservability obs;
+  const char* buildType = BBA_BUILD_TYPE;
+  benchmark::AddCustomContext("bba_build_type",
+                              buildType[0] != '\0' ? buildType : "unknown");
+  benchmark::AddCustomContext(
+      "bba_host_cpus",
+      std::to_string(std::thread::hardware_concurrency()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -24,6 +24,24 @@ if [[ ! -x "$BENCH_BIN" ]]; then
   exit 1
 fi
 
+# Perf numbers from anything but a Release build are noise: refuse them.
+# Set BBA_BENCH_ALLOW_NONRELEASE=1 to run anyway (e.g. smoke-testing the
+# harness itself); the output file is then tagged ".nonrelease.json" so a
+# debug number can never be mistaken for the trajectory.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$BUILD_TYPE" != "Release" ]]; then
+  echo "##############################################################" >&2
+  echo "# WARNING: build tree '$BUILD_DIR' is '${BUILD_TYPE:-unknown}', not Release." >&2
+  echo "# Benchmark numbers from this build are NOT comparable to the" >&2
+  echo "# BENCH_PR*.json trajectory." >&2
+  echo "##############################################################" >&2
+  if [[ "${BBA_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+    echo "refusing to run (set BBA_BENCH_ALLOW_NONRELEASE=1 to override)" >&2
+    exit 1
+  fi
+  OUT_JSON="${OUT_JSON%.json}.nonrelease.json"
+fi
+
 "$BENCH_BIN" \
   --benchmark_format=json \
   --benchmark_out="$RAW_JSON" \

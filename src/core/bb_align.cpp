@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "core/ego_cache.hpp"
 #include "features/mim.hpp"
 #include "geom/iou.hpp"
 #include "geom/kabsch.hpp"
@@ -29,7 +30,7 @@ BBAlign::BBAlign(BBAlignConfig config) : cfg_(std::move(config)) {
   const int h = cfg_.bev.imageSize();
   BBA_ASSERT_MSG(isPowerOfTwo(h),
                  "BevParams must give a power-of-two image size");
-  bank_ = std::make_shared<const LogGaborBank>(h, h, cfg_.logGabor);
+  bank_ = sharedLogGaborBank(h, h, cfg_.logGabor);
 }
 
 CarPerceptionData BBAlign::makeCarData(const PointCloud& cloud,
@@ -417,10 +418,23 @@ void recordRecoveryMetrics(const PoseRecoveryReport& rep) {
 
 }  // namespace
 
+std::shared_ptr<const EgoFeatures> BBAlign::computeEgoFeatures(
+    const CarPerceptionData& ego) const {
+  BBA_SPAN("ego-features");
+  auto out = std::make_shared<EgoFeatures>();
+  out->mim = computeImageMim(ego.bvImage);
+  out->keypoints = detectKeypoints(cfg_, ego.bvImage, out->mim);
+  DescriptorParams dp = cfg_.descriptor;
+  dp.fixedAngle = 0.0;
+  out->descriptors = computeDescriptors(out->mim, out->keypoints, dp);
+  return out;
+}
+
 PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
                                     const CarPerceptionData& ego, Rng& rng,
                                     PoseRecoveryReport* report,
-                                    const RecoveryHints* hints) const {
+                                    const RecoveryHints* hints,
+                                    const EgoFeatures* egoFeatures) const {
   BBA_SPAN("recover");
   PoseRecoveryResult result;
   PoseRecoveryReport rep;
@@ -428,22 +442,51 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
   LapTimer lap(report != nullptr);
 
   // ---- Stage 1: BV image matching (Algorithm 1 lines 5–11) -------------
-  const MimResult mimEgo = computeImageMim(ego.bvImage);
+  // The ego-side products either arrive precomputed (frame-scoped cache:
+  // the same deterministic pipeline ran once, shared across peers) or are
+  // computed inline; both paths yield byte-identical features.
+  EgoFeatures egoOwned;
+  if (egoFeatures == nullptr) {
+    egoOwned.mim = computeImageMim(ego.bvImage);
+  } else {
+    BBA_ASSERT_MSG(egoFeatures->mim.mim.width() == bank_->width() &&
+                       egoFeatures->mim.mim.height() == bank_->height(),
+                   "shared ego features sized for a different bank");
+  }
+  const MimResult& mimEgo = egoFeatures ? egoFeatures->mim : egoOwned.mim;
   const MimResult mimOther = computeImageMim(other.bvImage);
   rep.msMim = lap.lap();
-  const std::vector<Keypoint> kpsEgo =
-      detectKeypoints(cfg_, ego.bvImage, mimEgo);
-  const std::vector<Keypoint> kpsOther =
+  if (egoFeatures == nullptr) {
+    egoOwned.keypoints = detectKeypoints(cfg_, ego.bvImage, egoOwned.mim);
+  }
+  const std::vector<Keypoint>& kpsEgo =
+      egoFeatures ? egoFeatures->keypoints : egoOwned.keypoints;
+  std::vector<Keypoint> kpsOther =
       detectKeypoints(cfg_, other.bvImage, mimOther);
+  // Fast path: a confident tracker prior caps the other image's keypoint
+  // budget (detector order, strongest blocks first). The caller falls
+  // back to a full call when the narrowed attempt fails.
+  const bool fastPath = hints != nullptr && hints->fastPath;
+  if (fastPath) {
+    BBA_COUNTER_ADD("fastpath.engaged", 1);
+    if (hints->maxKeypointsOther > 0 &&
+        static_cast<int>(kpsOther.size()) > hints->maxKeypointsOther) {
+      kpsOther.resize(static_cast<std::size_t>(hints->maxKeypointsOther));
+    }
+  }
   rep.msKeypoints = lap.lap();
   rep.keypointsEgo = static_cast<int>(kpsEgo.size());
   rep.keypointsOther = static_cast<int>(kpsOther.size());
   BBA_COUNTER_ADD("stage1.keypoints_detected",
                   static_cast<std::int64_t>(kpsEgo.size() + kpsOther.size()));
 
-  DescriptorParams dpEgo = cfg_.descriptor;
-  dpEgo.fixedAngle = 0.0;
-  const DescriptorSet descEgo = computeDescriptors(mimEgo, kpsEgo, dpEgo);
+  if (egoFeatures == nullptr) {
+    DescriptorParams dpEgo = cfg_.descriptor;
+    dpEgo.fixedAngle = 0.0;
+    egoOwned.descriptors = computeDescriptors(egoOwned.mim, kpsEgo, dpEgo);
+  }
+  const DescriptorSet& descEgo =
+      egoFeatures ? egoFeatures->descriptors : egoOwned.descriptors;
   rep.msDescriptors += lap.lap();
   rep.descriptorsEgo = static_cast<int>(descEgo.size());
 
@@ -456,13 +499,20 @@ PoseRecoveryResult BBAlign::recover(const CarPerceptionData& other,
   const bool fixedMode =
       cfg_.descriptor.rotationMode == RotationMode::FixedAngle;
   if (fixedMode) {
-    std::vector<double> peaks =
-        globalYawCandidates(mimEgo, mimOther, cfg_.yawCandidates);
-    // A caller-side pose prior (streaming tracker prediction) becomes the
-    // first candidate evaluated; the histogram peaks still follow, so a
-    // wrong prior costs one extra candidate but can never hide the
-    // histogram-derived hypotheses.
-    if (hints) peaks.insert(peaks.begin(), hints->posePrior.theta);
+    std::vector<double> peaks;
+    if (fastPath) {
+      // Fast path: the confident prior IS the search range — skip the
+      // histogram correlation and evaluate only the prior (plus its
+      // spread offsets below). Misses fall back to a full call.
+      peaks.push_back(hints->posePrior.theta);
+    } else {
+      peaks = globalYawCandidates(mimEgo, mimOther, cfg_.yawCandidates);
+      // A caller-side pose prior (streaming tracker prediction) becomes
+      // the first candidate evaluated; the histogram peaks still follow,
+      // so a wrong prior costs one extra candidate but can never hide the
+      // histogram-derived hypotheses.
+      if (hints) peaks.insert(peaks.begin(), hints->posePrior.theta);
+    }
     yawCands.clear();
     for (const double peak : peaks) {
       for (int k = -cfg_.yawSpreadSteps; k <= cfg_.yawSpreadSteps; ++k) {

@@ -16,6 +16,8 @@
 
 namespace bba {
 
+struct EgoFeatures;  // core/ego_cache.hpp
+
 /// Configuration of the full two-stage framework (paper defaults: N_s = 4,
 /// N_o = 12, J = 96, l = 6; success thresholds Inliers_bv > 25 and
 /// Inliers_box > 6 from §V-A).
@@ -165,6 +167,18 @@ struct PoseRecoveryResult {
 struct RecoveryHints {
   /// Predicted other -> ego transform.
   Pose2 posePrior;
+
+  /// Tracker-seeded fast path: when true (and the prior is confident),
+  /// recover() narrows the search instead of running the full sweep — the
+  /// global-yaw candidate list collapses to the prior-derived candidate
+  /// (plus its spread), and the other image's keypoint budget shrinks to
+  /// maxKeypointsOther. Callers MUST treat a failed fast-path attempt as
+  /// retryable and fall back to a full call (PoseTracker does), so end-to-
+  /// end success rates are unchanged.
+  bool fastPath = false;
+  /// Fast path only: cap on the other image's keypoints (strongest first,
+  /// detector order preserved). <= 0 keeps all.
+  int maxKeypointsOther = 300;
 };
 
 /// The BB-Align two-stage pose recovery framework (Algorithm 1).
@@ -196,11 +210,24 @@ class BBAlign {
   /// recomputing them. Requesting a report never changes the estimate.
   ///
   /// `hints` (optional) seeds the global-yaw search with a caller-side
-  /// pose prior (see RecoveryHints).
+  /// pose prior (see RecoveryHints); with hints->fastPath it narrows the
+  /// search to the prior instead.
+  ///
+  /// `egoFeatures` (optional) supplies precomputed ego-side features (see
+  /// EgoFeatureCache); they must come from a config for which
+  /// egoFeatureCompatible(cfg, this->config()) holds — then the result is
+  /// byte-identical to computing them inline.
   [[nodiscard]] PoseRecoveryResult recover(
       const CarPerceptionData& other, const CarPerceptionData& ego, Rng& rng,
       PoseRecoveryReport* report = nullptr,
-      const RecoveryHints* hints = nullptr) const;
+      const RecoveryHints* hints = nullptr,
+      const EgoFeatures* egoFeatures = nullptr) const;
+
+  /// Compute the ego-side feature products (MIM, keypoints, fixed-angle-0
+  /// descriptors) exactly as recover() would inline — the sharable,
+  /// peer-independent half of the pipeline (see core/ego_cache.hpp).
+  [[nodiscard]] std::shared_ptr<const EgoFeatures> computeEgoFeatures(
+      const CarPerceptionData& ego) const;
 
   /// Stage-1-internal product: keypoints + descriptors of one BV image.
   /// `fixedAngle` applies when descriptor.rotationMode == FixedAngle.

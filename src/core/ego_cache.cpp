@@ -1,0 +1,59 @@
+#include "core/ego_cache.hpp"
+
+#include <tuple>
+
+#include "obs/metrics.hpp"
+
+namespace bba {
+
+bool egoFeatureCompatible(const BBAlignConfig& a, const BBAlignConfig& b) {
+  // Every parameter that feeds the ego-side BV -> MIM -> keypoint ->
+  // descriptor pipeline. descriptor.fixedAngle is excluded on purpose:
+  // ego descriptors always run with fixedAngle = 0.
+  const auto key = [](const BBAlignConfig& c) {
+    return std::make_tuple(
+        c.bev.range, c.bev.cellSize, c.bev.heightClamp,
+        c.logGabor.numScales, c.logGabor.numOrientations,
+        c.logGabor.minWavelength, c.logGabor.mult, c.logGabor.sigmaOnf,
+        c.logGabor.thetaSigmaRatio, c.smoothBvForMim,
+        static_cast<int>(c.keypointSurface), c.blockMax.threshold,
+        c.blockMax.blockSize, c.blockMax.maxKeypoints, c.blockMax.border,
+        c.localMax.thresholdFraction, c.localMax.maxKeypoints,
+        c.localMax.border, c.fast.threshold, c.fast.arc, c.fast.maxKeypoints,
+        c.fast.border, c.descriptor.patchSize, c.descriptor.grid,
+        static_cast<int>(c.descriptor.rotationMode),
+        c.descriptor.amplitudeWeighting, c.descriptor.amplitudeMaskFraction);
+  };
+  return key(a) == key(b);
+}
+
+std::shared_ptr<const EgoFeatures> EgoFeatureCache::features(
+    std::uint64_t frameId, const BBAlign& aligner,
+    const CarPerceptionData& ego) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (valid_ && frameId_ == frameId && feats_) {
+      BBA_COUNTER_ADD("cache.ego_hit", 1);
+      return feats_;
+    }
+  }
+
+  BBA_COUNTER_ADD("cache.ego_miss", 1);
+  auto feats = aligner.computeEgoFeatures(ego);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!(valid_ && frameId_ == frameId && feats_)) {
+    valid_ = true;
+    frameId_ = frameId;
+    feats_ = std::move(feats);
+  }
+  return feats_;
+}
+
+void EgoFeatureCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  valid_ = false;
+  feats_.reset();
+}
+
+}  // namespace bba

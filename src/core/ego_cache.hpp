@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/bb_align.hpp"
+
+namespace bba {
+
+/// The ego car's stage-1 feature-pipeline products for one frame: its MIM
+/// (through the aligner's Log-Gabor bank), keypoints, and fixed-angle-0
+/// descriptors. These depend only on the ego BV image and the
+/// feature-side config, not on any peer — so one computation per frame
+/// can be shared read-only across every peer session (the
+/// per-frame service cost becomes 1 x ego-features + peers x
+/// match/RANSAC instead of peers x recover).
+struct EgoFeatures {
+  MimResult mim;
+  std::vector<Keypoint> keypoints;
+  DescriptorSet descriptors;  ///< descriptor.fixedAngle forced to 0
+};
+
+/// True when two aligner configs run bit-identical ego feature pipelines,
+/// i.e. every parameter feeding BV -> MIM -> keypoints -> descriptors
+/// matches. Matching / RANSAC / verification parameters are deliberately
+/// excluded: they only affect the per-peer stages — which is exactly what
+/// lets PoseTracker's relaxed-retry aligner share the primary's features.
+[[nodiscard]] bool egoFeatureCompatible(const BBAlignConfig& a,
+                                        const BBAlignConfig& b);
+
+/// Frame-scoped cache holding the shared EgoFeatures of the latest frame.
+/// A new frameId evicts the previous entry (ego data changes every
+/// frame); repeated calls for the same frame return the cached pointer.
+/// Thread-safe; emits cache.ego_hit / cache.ego_miss counters. Reuse is
+/// byte-exact: the cached features are computed by the same deterministic
+/// pipeline a cache-off recover() runs inline.
+class EgoFeatureCache {
+ public:
+  /// Get-or-compute the shared features for `frameId`. On a miss the
+  /// computation runs outside the lock (a concurrent same-frame miss may
+  /// compute twice; the results are identical and the first insert wins).
+  [[nodiscard]] std::shared_ptr<const EgoFeatures> features(
+      std::uint64_t frameId, const BBAlign& aligner,
+      const CarPerceptionData& ego);
+
+  /// Drop the cached frame (tests / reconfiguration).
+  void invalidate();
+
+ private:
+  std::mutex mu_;
+  bool valid_ = false;
+  std::uint64_t frameId_ = 0;
+  std::shared_ptr<const EgoFeatures> feats_;
+};
+
+}  // namespace bba

@@ -4,8 +4,14 @@
 #include <cmath>
 #include <numbers>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BBA_DESC_X86 1
+#endif
+
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -84,6 +90,92 @@ double dominantOrientation(const MimResult& mim, const Vec2& px,
   return angle;
 }
 
+// ---- patch-coordinate kernels --------------------------------------------
+// For one patch row (fixed dy), the rotated sample coordinates are
+// sx = (px.x + c*dx) - s*dy and sy = (px.y + s*dx) + c*dy; the per-dx
+// bases are hoisted into a1/a2 so each sample costs one sub/add plus the
+// half-up rounding. Samples are strictly positive here (the caller's
+// margin check guarantees it), so floor(v + 0.5) equals truncation and
+// cvttpd is an exact vectorization; one dx per lane keeps every level
+// bit-identical.
+
+void patchCoordsScalar(const double* a1, const double* a2, int n, double sdy,
+                       double cdy, int* ix, int* iy) {
+  for (int k = 0; k < n; ++k) {
+    ix[k] = static_cast<int>(std::floor(a1[k] - sdy + 0.5));
+    iy[k] = static_cast<int>(std::floor(a2[k] + cdy + 0.5));
+  }
+}
+
+#if defined(BBA_DESC_X86)
+
+void patchCoordsSse2(const double* a1, const double* a2, int n, double sdy,
+                     double cdy, int* ix, int* iy) {
+  const __m128d sv = _mm_set1_pd(sdy);
+  const __m128d cv = _mm_set1_pd(cdy);
+  const __m128d half = _mm_set1_pd(0.5);
+  int k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m128d sx =
+        _mm_add_pd(_mm_sub_pd(_mm_loadu_pd(a1 + k), sv), half);
+    const __m128d sy =
+        _mm_add_pd(_mm_add_pd(_mm_loadu_pd(a2 + k), cv), half);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(ix + k),
+                     _mm_cvttpd_epi32(sx));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(iy + k),
+                     _mm_cvttpd_epi32(sy));
+  }
+  if (k < n) patchCoordsScalar(a1 + k, a2 + k, n - k, sdy, cdy, ix + k, iy + k);
+}
+
+__attribute__((target("avx2"))) void patchCoordsAvx2(const double* a1,
+                                                     const double* a2, int n,
+                                                     double sdy, double cdy,
+                                                     int* ix, int* iy) {
+  const __m256d sv = _mm256_set1_pd(sdy);
+  const __m256d cv = _mm256_set1_pd(cdy);
+  const __m256d half = _mm256_set1_pd(0.5);
+  int k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d sx =
+        _mm256_add_pd(_mm256_sub_pd(_mm256_loadu_pd(a1 + k), sv), half);
+    const __m256d sy =
+        _mm256_add_pd(_mm256_add_pd(_mm256_loadu_pd(a2 + k), cv), half);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(ix + k),
+                     _mm256_cvttpd_epi32(sx));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(iy + k),
+                     _mm256_cvttpd_epi32(sy));
+  }
+  if (k < n) patchCoordsSse2(a1 + k, a2 + k, n - k, sdy, cdy, ix + k, iy + k);
+}
+
+#endif  // BBA_DESC_X86
+
+void patchCoords(const double* a1, const double* a2, int n, double sdy,
+                 double cdy, int* ix, int* iy, SimdLevel level) {
+#if defined(BBA_DESC_X86)
+  switch (level) {
+    case SimdLevel::Avx2:
+      if (n >= 4) {
+        patchCoordsAvx2(a1, a2, n, sdy, cdy, ix, iy);
+        return;
+      }
+      [[fallthrough]];
+    case SimdLevel::Sse2:
+      if (n >= 2) {
+        patchCoordsSse2(a1, a2, n, sdy, cdy, ix, iy);
+        return;
+      }
+      [[fallthrough]];
+    case SimdLevel::Scalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  patchCoordsScalar(a1, a2, n, sdy, cdy, ix, iy);
+}
+
 }  // namespace
 
 DescriptorSet computeDescriptors(const MimResult& mim,
@@ -106,6 +198,21 @@ DescriptorSet computeDescriptors(const MimResult& mim,
       prm.amplitudeMaskFraction *
       (mim.peakAmplitude.empty() ? 0.0 : mim.peakAmplitude.maxValue()));
 
+  // The grid-cell position of a sample depends only on its patch offset,
+  // not the keypoint: hoist floor((dx+half)/cellSize - 0.5) and its
+  // fractional part into per-offset tables (identical values, computed
+  // once instead of per sample).
+  const int patch = 2 * half;  // offsets in [-half, half)
+  std::vector<int> gTab(static_cast<std::size_t>(patch));
+  std::vector<double> fTab(static_cast<std::size_t>(patch));
+  for (int k = 0; k < patch; ++k) {
+    const double gf = static_cast<double>(k) / cellSize - 0.5;
+    const int g0 = static_cast<int>(std::floor(gf));
+    gTab[static_cast<std::size_t>(k)] = g0;
+    fTab[static_cast<std::size_t>(k)] = gf - g0;
+  }
+  const SimdLevel level = simdLevel();
+
   // Keypoints are independent: extract in parallel into per-index slots
   // (an empty descriptor marks a rejected keypoint), then compact in index
   // order so the output ordering matches a serial pass at any thread
@@ -116,7 +223,14 @@ DescriptorSet computeDescriptors(const MimResult& mim,
   };
   std::vector<Extracted> slots(keypoints.size());
 
-  auto extractOne = [&](const Keypoint& kp, Extracted& slot) {
+  // Per-task scratch for the rotated sample bases / coordinates.
+  struct Scratch {
+    std::vector<double> a1, a2;
+    std::vector<int> ix, iy;
+  };
+
+  auto extractOne = [&](const Keypoint& kp, Extracted& slot,
+                        Scratch& scratch) {
     const int cx = static_cast<int>(kp.px.x);
     const int cy = static_cast<int>(kp.px.y);
     if (cx < margin || cy < margin || cx >= w - margin || cy >= h - margin)
@@ -141,17 +255,34 @@ DescriptorSet computeDescriptors(const MimResult& mim,
         theta * static_cast<double>(no) / std::numbers::pi;
     const double c = std::cos(theta), s = std::sin(theta);
 
+    // Rotated sample coordinate for offset (dx, dy):
+    //   sx = (px.x + c*dx) - s*dy,  sy = (px.y + s*dx) + c*dy
+    // (normalizing the patch's dominant structure to orientation 0). The
+    // per-dx bases are keypoint constants; each row then costs one
+    // SIMD-dispatched sub/add + round per sample. The margin check above
+    // keeps every rotated sample strictly inside the image (the rotated
+    // offset never exceeds half*sqrt(2) < margin - 1), so there is no
+    // per-sample bounds test.
+    scratch.a1.resize(static_cast<std::size_t>(patch));
+    scratch.a2.resize(static_cast<std::size_t>(patch));
+    scratch.ix.resize(static_cast<std::size_t>(patch));
+    scratch.iy.resize(static_cast<std::size_t>(patch));
+    for (int k = 0; k < patch; ++k) {
+      const int dx = k - half;
+      scratch.a1[static_cast<std::size_t>(k)] = kp.px.x + c * dx;
+      scratch.a2[static_cast<std::size_t>(k)] = kp.px.y + s * dx;
+    }
+
     std::vector<float> desc(static_cast<std::size_t>(l * l * no), 0.0f);
     for (int dy = -half; dy < half; ++dy) {
-      for (int dx = -half; dx < half; ++dx) {
-        // Sample the image at the keypoint + offset rotated by +theta so
-        // the patch's dominant structure is normalized to orientation 0.
-        const double sx = kp.px.x + c * dx - s * dy;
-        const double sy = kp.px.y + s * dx + c * dy;
-        const int ix = static_cast<int>(std::lround(sx));
-        const int iy = static_cast<int>(std::lround(sy));
-        if (!mim.mim.inBounds(ix, iy)) continue;
-
+      patchCoords(scratch.a1.data(), scratch.a2.data(), patch, s * dy,
+                  c * dy, scratch.ix.data(), scratch.iy.data(), level);
+      const int ky = dy + half;
+      const int gy0 = gTab[static_cast<std::size_t>(ky)];
+      const double fy = fTab[static_cast<std::size_t>(ky)];
+      for (int kx = 0; kx < patch; ++kx) {
+        const int ix = scratch.ix[static_cast<std::size_t>(kx)];
+        const int iy = scratch.iy[static_cast<std::size_t>(kx)];
         const float amp = mim.peakAmplitude(ix, iy);
         if (amp <= ampMask) continue;
         const float w = prm.amplitudeWeighting ? amp : 1.0f;
@@ -161,17 +292,22 @@ DescriptorSet computeDescriptors(const MimResult& mim,
         // between adjacent bins instead of teleporting it, which keeps
         // descriptor distances small for true correspondences across
         // heterogeneous sensors.
-        const double gxf = (dx + half) / cellSize - 0.5;
-        const double gyf = (dy + half) / cellSize - 0.5;
-        const int gx0 = static_cast<int>(std::floor(gxf));
-        const int gy0 = static_cast<int>(std::floor(gyf));
-        const double fx = gxf - gx0;
-        const double fy = gyf - gy0;
+        const int gx0 = gTab[static_cast<std::size_t>(kx)];
+        const double fx = fTab[static_cast<std::size_t>(kx)];
 
-        double shifted =
-            std::fmod(static_cast<double>(mim.mim(ix, iy)) - binShiftF,
-                      static_cast<double>(no));
-        if (shifted < 0.0) shifted += static_cast<double>(no);
+        // |theta| < pi in every pipeline path, so the shift distance lies
+        // in (-no, 2*no) and one conditional +-no reproduces the fmod the
+        // code used to call exactly (the subtraction is Sterbenz-exact);
+        // the libcall survives only for out-of-range fixedAngle values.
+        const double dno = static_cast<double>(no);
+        double shifted = static_cast<double>(mim.mim(ix, iy)) - binShiftF;
+        if (shifted >= dno) {
+          shifted = shifted < 2.0 * dno ? shifted - dno
+                                        : std::fmod(shifted, dno);
+        } else if (shifted < -dno) {
+          shifted = std::fmod(shifted, dno);
+        }
+        if (shifted < 0.0) shifted += dno;
         const int i0 = static_cast<int>(shifted) % no;
         const int i1 = (i0 + 1) % no;
         const float fo = static_cast<float>(shifted - std::floor(shifted));
@@ -211,9 +347,10 @@ DescriptorSet computeDescriptors(const MimResult& mim,
 
   parallelFor(0, static_cast<std::int64_t>(keypoints.size()), 8,
               [&](std::int64_t i0, std::int64_t i1) {
+                Scratch scratch;
                 for (std::int64_t i = i0; i < i1; ++i) {
                   extractOne(keypoints[static_cast<std::size_t>(i)],
-                             slots[static_cast<std::size_t>(i)]);
+                             slots[static_cast<std::size_t>(i)], scratch);
                 }
               });
 
@@ -234,11 +371,91 @@ DescriptorSet computeDescriptors(const MimResult& mim,
   return DescriptorSet(std::move(kept), std::move(descs), l, no);
 }
 
+namespace {
+
+// ---- squared-distance kernels --------------------------------------------
+// Fixed 8-virtual-lane blocked reduction: lane l accumulates elements
+// i % 8 == l, and all paths collapse the 8 partials with the same
+// pairwise tree — so scalar (8 scalar accumulators), SSE2 (2x4 lanes) and
+// AVX2 (1x8 lanes) are bit-identical. Descriptors are grid*grid*no floats
+// (192 by default), a multiple of 8; other sizes take the sequential
+// fallback.
+
+float hsum8(const float* acc) {
+  const float s01 = acc[0] + acc[1];
+  const float s23 = acc[2] + acc[3];
+  const float s45 = acc[4] + acc[5];
+  const float s67 = acc[6] + acc[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+float distance2Blocked8Scalar(const float* a, const float* b, std::size_t n) {
+  float acc[8] = {};
+  for (std::size_t i = 0; i < n; i += 8) {
+    for (int l = 0; l < 8; ++l) {
+      const float d = a[i + static_cast<std::size_t>(l)] -
+                      b[i + static_cast<std::size_t>(l)];
+      acc[l] += d * d;
+    }
+  }
+  return hsum8(acc);
+}
+
+#if defined(BBA_DESC_X86)
+
+float distance2Blocked8Sse2(const float* a, const float* b, std::size_t n) {
+  __m128 lo = _mm_setzero_ps();
+  __m128 hi = _mm_setzero_ps();
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __m128 d0 = _mm_sub_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    const __m128 d1 =
+        _mm_sub_ps(_mm_loadu_ps(a + i + 4), _mm_loadu_ps(b + i + 4));
+    lo = _mm_add_ps(lo, _mm_mul_ps(d0, d0));
+    hi = _mm_add_ps(hi, _mm_mul_ps(d1, d1));
+  }
+  float acc[8];
+  _mm_storeu_ps(acc, lo);
+  _mm_storeu_ps(acc + 4, hi);
+  return hsum8(acc);
+}
+
+__attribute__((target("avx2"))) float distance2Blocked8Avx2(const float* a,
+                                                            const float* b,
+                                                            std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);
+  return hsum8(lanes);
+}
+
+#endif  // BBA_DESC_X86
+
+}  // namespace
+
 float descriptorDistance2(const std::vector<float>& a,
                           const std::vector<float>& b) {
   BBA_ASSERT(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n % 8 == 0 && n > 0) {
+#if defined(BBA_DESC_X86)
+    switch (simdLevel()) {
+      case SimdLevel::Avx2:
+        return distance2Blocked8Avx2(a.data(), b.data(), n);
+      case SimdLevel::Sse2:
+        return distance2Blocked8Sse2(a.data(), b.data(), n);
+      case SimdLevel::Scalar:
+        break;
+    }
+#endif
+    return distance2Blocked8Scalar(a.data(), b.data(), n);
+  }
   float s = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const float d = a[i] - b[i];
     s += d * d;
   }

@@ -4,12 +4,189 @@
 #include <cmath>
 #include <numbers>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BBA_MIM_X86 1
+#endif
+
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "geom/vec.hpp"
 #include "obs/trace.hpp"
 
 namespace bba {
+
+namespace {
+
+// ---- fused orientation-sweep kernels -------------------------------------
+// Per pixel, in one pass over the `no` orientation maps: amplitude sum,
+// strict-greater argmax, and the double-precision axial circular-mean
+// accumulators. The vector paths put one *pixel* per lane, so every
+// per-pixel op runs in the exact scalar sequence (sequential adds over o,
+// blend-based argmax, float->double converts, mul + add, never FMA) and
+// all levels produce bit-identical images. The atan2/fmod finish is scalar
+// in every path.
+
+float finishAngle(double s2, double c2) {
+  // Axial (pi-periodic) circular mean, rotated +90 degrees to the
+  // structure direction (see computeMim's comment).
+  double angle = 0.5 * std::atan2(s2, c2) + std::numbers::pi / 2.0;
+  angle = std::fmod(angle, std::numbers::pi);
+  if (angle < 0.0) angle += std::numbers::pi;
+  return static_cast<float>(angle);
+}
+
+void mimSweepScalar(const float* const* amp, int no, int x0, int x1,
+                    const double* cosT, const double* sinT,
+                    unsigned char* mim, float* peak, float* total,
+                    float* orient) {
+  for (int x = x0; x < x1; ++x) {
+    float bestAmp = 0.0f;
+    int bestIdx = 0;
+    float tot = 0.0f;
+    double s2 = 0.0, c2 = 0.0;
+    for (int o = 0; o < no; ++o) {
+      const float a = amp[o][x];
+      tot += a;
+      if (a > bestAmp) {
+        bestAmp = a;
+        bestIdx = o;
+      }
+      const double ad = static_cast<double>(a);
+      c2 += ad * cosT[o];
+      s2 += ad * sinT[o];
+    }
+    mim[x] = static_cast<unsigned char>(bestIdx);
+    peak[x] = bestAmp;
+    total[x] = tot;
+    orient[x] = finishAngle(s2, c2);
+  }
+}
+
+#if defined(BBA_MIM_X86)
+
+void mimSweepSse2(const float* const* amp, int no, int x0, int x1,
+                  const double* cosT, const double* sinT, unsigned char* mim,
+                  float* peak, float* total, float* orient) {
+  int x = x0;
+  for (; x + 4 <= x1; x += 4) {
+    __m128 best = _mm_setzero_ps();
+    __m128i bidx = _mm_setzero_si128();
+    __m128 tot = _mm_setzero_ps();
+    __m128d c2lo = _mm_setzero_pd(), c2hi = _mm_setzero_pd();
+    __m128d s2lo = _mm_setzero_pd(), s2hi = _mm_setzero_pd();
+    for (int o = 0; o < no; ++o) {
+      const __m128 a = _mm_loadu_ps(amp[o] + x);
+      tot = _mm_add_ps(tot, a);
+      const __m128 gt = _mm_cmpgt_ps(a, best);
+      best = _mm_or_ps(_mm_and_ps(gt, a), _mm_andnot_ps(gt, best));
+      const __m128i m = _mm_castps_si128(gt);
+      const __m128i oi = _mm_set1_epi32(o);
+      bidx = _mm_or_si128(_mm_and_si128(m, oi), _mm_andnot_si128(m, bidx));
+      const __m128d alo = _mm_cvtps_pd(a);
+      const __m128d ahi = _mm_cvtps_pd(_mm_movehl_ps(a, a));
+      const __m128d cv = _mm_set1_pd(cosT[o]);
+      const __m128d sv = _mm_set1_pd(sinT[o]);
+      c2lo = _mm_add_pd(c2lo, _mm_mul_pd(alo, cv));
+      c2hi = _mm_add_pd(c2hi, _mm_mul_pd(ahi, cv));
+      s2lo = _mm_add_pd(s2lo, _mm_mul_pd(alo, sv));
+      s2hi = _mm_add_pd(s2hi, _mm_mul_pd(ahi, sv));
+    }
+    _mm_storeu_ps(peak + x, best);
+    _mm_storeu_ps(total + x, tot);
+    int idx[4];
+    double c2a[4], s2a[4];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(idx), bidx);
+    _mm_storeu_pd(c2a, c2lo);
+    _mm_storeu_pd(c2a + 2, c2hi);
+    _mm_storeu_pd(s2a, s2lo);
+    _mm_storeu_pd(s2a + 2, s2hi);
+    for (int l = 0; l < 4; ++l) {
+      mim[x + l] = static_cast<unsigned char>(idx[l]);
+      orient[x + l] = finishAngle(s2a[l], c2a[l]);
+    }
+  }
+  if (x < x1) {
+    mimSweepScalar(amp, no, x, x1, cosT, sinT, mim, peak, total, orient);
+  }
+}
+
+__attribute__((target("avx2"))) void mimSweepAvx2(
+    const float* const* amp, int no, int x0, int x1, const double* cosT,
+    const double* sinT, unsigned char* mim, float* peak, float* total,
+    float* orient) {
+  int x = x0;
+  for (; x + 8 <= x1; x += 8) {
+    __m256 best = _mm256_setzero_ps();
+    __m256i bidx = _mm256_setzero_si256();
+    __m256 tot = _mm256_setzero_ps();
+    __m256d c2lo = _mm256_setzero_pd(), c2hi = _mm256_setzero_pd();
+    __m256d s2lo = _mm256_setzero_pd(), s2hi = _mm256_setzero_pd();
+    for (int o = 0; o < no; ++o) {
+      const __m256 a = _mm256_loadu_ps(amp[o] + x);
+      tot = _mm256_add_ps(tot, a);
+      const __m256 gt = _mm256_cmp_ps(a, best, _CMP_GT_OQ);
+      best = _mm256_blendv_ps(best, a, gt);
+      bidx = _mm256_blendv_epi8(bidx, _mm256_set1_epi32(o),
+                                _mm256_castps_si256(gt));
+      const __m256d alo = _mm256_cvtps_pd(_mm256_castps256_ps128(a));
+      const __m256d ahi = _mm256_cvtps_pd(_mm256_extractf128_ps(a, 1));
+      const __m256d cv = _mm256_set1_pd(cosT[o]);
+      const __m256d sv = _mm256_set1_pd(sinT[o]);
+      c2lo = _mm256_add_pd(c2lo, _mm256_mul_pd(alo, cv));
+      c2hi = _mm256_add_pd(c2hi, _mm256_mul_pd(ahi, cv));
+      s2lo = _mm256_add_pd(s2lo, _mm256_mul_pd(alo, sv));
+      s2hi = _mm256_add_pd(s2hi, _mm256_mul_pd(ahi, sv));
+    }
+    _mm256_storeu_ps(peak + x, best);
+    _mm256_storeu_ps(total + x, tot);
+    int idx[8];
+    double c2a[8], s2a[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(idx), bidx);
+    _mm256_storeu_pd(c2a, c2lo);
+    _mm256_storeu_pd(c2a + 4, c2hi);
+    _mm256_storeu_pd(s2a, s2lo);
+    _mm256_storeu_pd(s2a + 4, s2hi);
+    for (int l = 0; l < 8; ++l) {
+      mim[x + l] = static_cast<unsigned char>(idx[l]);
+      orient[x + l] = finishAngle(s2a[l], c2a[l]);
+    }
+  }
+  if (x < x1) {
+    mimSweepSse2(amp, no, x, x1, cosT, sinT, mim, peak, total, orient);
+  }
+}
+
+#endif  // BBA_MIM_X86
+
+void mimSweepRow(const float* const* amp, int no, int w, const double* cosT,
+                 const double* sinT, unsigned char* mim, float* peak,
+                 float* total, float* orient, SimdLevel level) {
+#if defined(BBA_MIM_X86)
+  switch (level) {
+    case SimdLevel::Avx2:
+      if (w >= 8) {
+        mimSweepAvx2(amp, no, 0, w, cosT, sinT, mim, peak, total, orient);
+        return;
+      }
+      [[fallthrough]];
+    case SimdLevel::Sse2:
+      if (w >= 4) {
+        mimSweepSse2(amp, no, 0, w, cosT, sinT, mim, peak, total, orient);
+        return;
+      }
+      [[fallthrough]];
+    case SimdLevel::Scalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  mimSweepScalar(amp, no, 0, w, cosT, sinT, mim, peak, total, orient);
+}
+
+}  // namespace
 
 MimResult computeMim(const ImageF& bvImage, const LogGaborBank& bank) {
   BBA_SPAN("mim");
@@ -40,43 +217,25 @@ MimResult computeMim(const ImageF& bvImage, const LogGaborBank& bank) {
   }
 
   // Row-parallel, one fused sweep over the orientation stack per pixel
-  // (peak, total, and axial circular mean accumulate in the same pass).
-  // Each row's outputs are written by exactly one chunk.
+  // (peak, total, and axial circular mean accumulate in the same pass;
+  // the continuous orientation is the axial pi-periodic circular mean
+  // theta = atan2(sum A sin 2t, sum A cos 2t) / 2, rotated +90 degrees
+  // from the filter axis to the structure direction — see finishAngle).
+  // Each row's outputs are written by exactly one chunk, and the
+  // SIMD-dispatched kernel puts one pixel per lane, so results are
+  // bit-identical at every level and thread count.
+  const SimdLevel level = simdLevel();
   parallelFor(0, h, 16, [&](std::int64_t y0, std::int64_t y1) {
+    std::vector<const float*> ampRows(static_cast<std::size_t>(no));
     for (std::int64_t yy = y0; yy < y1; ++yy) {
       const int y = static_cast<int>(yy);
-      for (int x = 0; x < w; ++x) {
-        float bestAmp = 0.0f;
-        int bestIdx = 0;
-        float total = 0.0f;
-        double s2 = 0.0, c2 = 0.0;
-        for (int o = 0; o < no; ++o) {
-          const float a = amps[static_cast<std::size_t>(o)](x, y);
-          total += a;
-          if (a > bestAmp) {
-            bestAmp = a;
-            bestIdx = o;
-          }
-          const double ad = static_cast<double>(a);
-          c2 += ad * cosTable[static_cast<std::size_t>(o)];
-          s2 += ad * sinTable[static_cast<std::size_t>(o)];
-        }
-        out.mim(x, y) = static_cast<unsigned char>(bestIdx);
-        out.peakAmplitude(x, y) = bestAmp;
-        out.totalAmplitude(x, y) = total;
-
-        // Continuous orientation by the axial (pi-periodic) circular mean:
-        // theta = atan2(sum A sin 2t, sum A cos 2t) / 2 — the unbiased
-        // estimator for axial data, unlike parabolic peak interpolation.
-        // The filter at index o selects spatial frequency along o*binAngle;
-        // the underlying line/edge runs perpendicular to that. Store the
-        // structure direction (+90 degrees), which is what callers reason
-        // about.
-        double angle = 0.5 * std::atan2(s2, c2) + std::numbers::pi / 2.0;
-        angle = std::fmod(angle, std::numbers::pi);
-        if (angle < 0.0) angle += std::numbers::pi;
-        out.orientation(x, y) = static_cast<float>(angle);
+      for (int o = 0; o < no; ++o) {
+        ampRows[static_cast<std::size_t>(o)] =
+            &amps[static_cast<std::size_t>(o)](0, y);
       }
+      mimSweepRow(ampRows.data(), no, w, cosTable.data(), sinTable.data(),
+                  &out.mim(0, y), &out.peakAmplitude(0, y),
+                  &out.totalAmplitude(0, y), &out.orientation(0, y), level);
     }
   });
   return out;

@@ -141,7 +141,7 @@ struct CooperationService::Session {
 };
 
 CooperationService::CooperationService(ServiceConfig config)
-    : cfg_(std::move(config)) {
+    : cfg_(std::move(config)), featureAligner_(cfg_.tracker.aligner) {
   BBA_ASSERT_MSG(cfg_.maxSessions >= 1, "maxSessions must be >= 1");
 }
 
@@ -189,6 +189,25 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   std::vector<Session*> bySlot(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i)
     bySlot[i] = &sessionFor(inputs[i].peerId);
+
+  // Frame-scoped ego-feature sharing: each session "gets" this frame's
+  // ego features from the cache — the first get computes them
+  // (cache.ego_miss), every later get returns the same immutable set
+  // (cache.ego_hit). One ego feature pipeline per frame instead of one
+  // per peer; results are byte-identical either way because the cached
+  // features come from the identical deterministic pipeline.
+  // Skipped when the ego payload is absent or mis-sized (callers whose
+  // every input coasts may legitimately pass an empty ego).
+  std::shared_ptr<const EgoFeatures> sharedEgo;
+  const int egoExpected = cfg_.tracker.aligner.bev.imageSize();
+  if (cfg_.enableEgoFeatureCache && n > 0 &&
+      ego.bvImage.width() == egoExpected &&
+      ego.bvImage.height() == egoExpected) {
+    BBA_SPAN("service.ego-features");
+    for (std::int64_t i = 0; i < n; ++i)
+      sharedEgo = egoCache_.features(static_cast<std::uint64_t>(frames_),
+                                     featureAligner_, ego);
+  }
 
   // Cross-session parallel, per-session serial: every input owns its
   // session exclusively (ids are distinct), so chunk grain 1 gives one
@@ -257,7 +276,7 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
         session.tracker.acceptExternalPose(msg.posePrior);
       }
       res.track = session.tracker.update(toCarData(msg), ego, session.rng,
-                                         &res.report);
+                                         &res.report, sharedEgo.get());
     }
   });
 

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "core/bb_align.hpp"
+#include "core/ego_cache.hpp"
 #include "geom/pose2.hpp"
 #include "service/peer_health.hpp"
 #include "stream/pose_tracker.hpp"
@@ -57,6 +58,14 @@ struct ServiceConfig {
   int consistencyMinPeers = 3;
   double consistencyMaxTranslation = 2.0;
   double consistencyMaxRotationDeg = 10.0;
+
+  /// Frame-scoped ego-feature sharing (core/ego_cache.hpp): the ego BV
+  /// image's MIM / keypoints / descriptors are computed ONCE per
+  /// processFrame() and handed read-only to every peer session, so the
+  /// per-frame cost is 1 x ego-features + peers x (other-features +
+  /// match + RANSAC) instead of peers x full recover(). Byte-identical on
+  /// or off (asserted by tests/service_test.cpp).
+  bool enableEgoFeatureCache = true;
 };
 
 /// One peer's input for one service frame.
@@ -211,6 +220,11 @@ class CooperationService {
   Session& sessionFor(std::uint64_t peerId);
 
   ServiceConfig cfg_;
+  /// Computes the shared per-frame ego features; configured identically to
+  /// every session tracker's primary aligner, so the features it produces
+  /// are egoFeatureCompatible with all of them by construction.
+  BBAlign featureAligner_;
+  EgoFeatureCache egoCache_;
   int frames_ = 0;
   // Ordered map: iteration order == session-id order == merge order.
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;

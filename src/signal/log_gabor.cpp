@@ -1,10 +1,14 @@
 #include "signal/log_gabor.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numbers>
+#include <tuple>
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace bba {
@@ -103,17 +107,52 @@ std::vector<ImageF> LogGaborBank::orientationAmplitudes(
     for (std::int64_t o = o0; o < o1; ++o) {
       ImageF& acc = amp[static_cast<std::size_t>(o)];
       for (int s = 0; s < ns; ++s) {
-        response = spectrum;
-        multiplySpectrum(response, filter(s, static_cast<int>(o)));
+        multiplySpectrumInto(spectrum, filter(s, static_cast<int>(o)),
+                             response);
         fft2d(response, /*inverse=*/true);
-        auto& adata = acc.data();
-        for (std::size_t i = 0; i < adata.size(); ++i) {
-          adata[i] += std::abs(response.data()[i]);
-        }
+        absAccumulate(response.data().data(), acc.data().data(),
+                      acc.data().size());
       }
     }
   });
   return amp;
+}
+
+namespace {
+
+using BankKey = std::tuple<int, int, int, int, double, double, double, double>;
+
+BankKey bankKey(int w, int h, const LogGaborParams& p) {
+  return {w,      h,      p.numScales, p.numOrientations,
+          p.minWavelength, p.mult,     p.sigmaOnf, p.thetaSigmaRatio};
+}
+
+}  // namespace
+
+std::shared_ptr<const LogGaborBank> sharedLogGaborBank(
+    int width, int height, const LogGaborParams& params) {
+  static std::mutex mu;
+  static std::map<BankKey, std::shared_ptr<const LogGaborBank>> banks;
+
+  const BankKey key = bankKey(width, height, params);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = banks.find(key);
+    if (it != banks.end()) {
+      BBA_COUNTER_ADD("cache.bank_hit", 1);
+      return it->second;
+    }
+  }
+
+  // Build outside the lock: a miss costs hundreds of milliseconds and must
+  // not block hits (or misses for other geometries). A same-key race
+  // builds redundantly; the loser's bank is discarded below.
+  BBA_COUNTER_ADD("cache.bank_miss", 1);
+  auto built = std::make_shared<const LogGaborBank>(width, height, params);
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = banks.emplace(key, std::move(built));
+  (void)inserted;
+  return it->second;
 }
 
 }  // namespace bba

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "signal/fft.hpp"
@@ -54,5 +55,17 @@ class LogGaborBank {
   LogGaborParams params_;
   std::vector<ImageF> filters_;  // numScales * numOrientations, s-major
 };
+
+/// Process-wide bank cache keyed on (width, height, exact parameter
+/// values). Building a bank costs hundreds of milliseconds (48 filters of
+/// per-pixel transcendentals) and banks are immutable once built, so every
+/// BBAlign / PoseTracker / CooperationService session for the same image
+/// geometry shares one instance. Thread-safe; a bank under construction is
+/// built outside the lock so concurrent misses on *different* keys do not
+/// serialize (concurrent misses on the same key may build twice — the
+/// first insert wins, which is benign because construction is
+/// deterministic). Emits cache.bank_hit / cache.bank_miss counters.
+[[nodiscard]] std::shared_ptr<const LogGaborBank> sharedLogGaborBank(
+    int width, int height, const LogGaborParams& params = {});
 
 }  // namespace bba

@@ -68,7 +68,8 @@ std::string TrackerReport::toJson(bool includeTimings) const {
       "\"gate_rejected\":%s,\"validation_rejected\":%s,"
       "\"consecutive_misses\":%d,"
       "\"track_lost\":%s,\"rebootstrapped\":%s,"
-      "\"relaxed_attempted\":%s,",
+      "\"relaxed_attempted\":%s,"
+      "\"fast_path_attempted\":%s,\"fast_path_accepted\":%s,",
       frameIndex, toString(outcome), confidence,
       remoteReceived ? "true" : "false",
       predictionAvailable ? "true" : "false", prediction.t.x, prediction.t.y,
@@ -76,7 +77,9 @@ std::string TrackerReport::toJson(bool includeTimings) const {
       gateRejected ? "true" : "false", validationRejected ? "true" : "false",
       consecutiveMisses,
       trackLostThisFrame ? "true" : "false", rebootstrapped ? "true" : "false",
-      relaxedAttempted ? "true" : "false");
+      relaxedAttempted ? "true" : "false",
+      fastPathAttempted ? "true" : "false",
+      fastPathAccepted ? "true" : "false");
   out += buf;
   out += "\"recovery\":";
   out += remoteReceived ? recovery.toJson(includeTimings)
@@ -120,6 +123,10 @@ void recordTrackerMetrics(const TrackerReport& rep) {
   if (rep.validationRejected)
     reg->counter("validate.gate_rejected").increment();
   if (rep.relaxedAttempted) reg->counter("stream.relaxed_retries").increment();
+  if (rep.fastPathAttempted) reg->counter("fastpath.attempted").increment();
+  if (rep.fastPathAccepted) reg->counter("fastpath.accepted").increment();
+  if (rep.fastPathAttempted && !rep.fastPathAccepted)
+    reg->counter("fastpath.fallback").increment();
   if (rep.rebootstrapped) reg->counter("stream.rebootstraps").increment();
   reg->histogram("stream.confidence").observe(rep.confidence);
   reg->histogram("stream.consecutive_misses").observe(rep.consecutiveMisses);
@@ -140,7 +147,9 @@ PoseTracker::PoseTracker(PoseTrackerConfig config)
     : cfg_(std::move(config)),
       primary_(cfg_.aligner),
       relaxed_(cfg_.relaxedAligner ? *cfg_.relaxedAligner
-                                   : relaxedRecoveryConfig(cfg_.aligner)) {
+                                   : relaxedRecoveryConfig(cfg_.aligner)),
+      relaxedSharesFeatures_(
+          egoFeatureCompatible(primary_.config(), relaxed_.config())) {
   BBA_ASSERT(cfg_.historySize >= 1);
   BBA_ASSERT(cfg_.maxConsecutiveMisses >= 1);
   BBA_ASSERT(cfg_.confidenceDecay > 0.0 && cfg_.confidenceDecay <= 1.0);
@@ -236,7 +245,8 @@ TrackerResult PoseTracker::coast(TrackerReport* report) {
 
 TrackerResult PoseTracker::update(const CarPerceptionData& other,
                                   const CarPerceptionData& ego, Rng& rng,
-                                  TrackerReport* report) {
+                                  TrackerReport* report,
+                                  const EgoFeatures* egoFeatures) {
   BBA_SPAN("tracker-update");
   TrackerReport rep;
   const int frame = frame_++;
@@ -271,9 +281,46 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
     hintsPtr = &hints;
   }
 
+  // Ego-side features: computed once here (or supplied by the caller —
+  // e.g. CooperationService's per-frame cache shared across peers) and fed
+  // to every rung instead of each recover() recomputing them. The relaxed
+  // aligner joins only when its config runs the identical feature
+  // pipeline.
+  std::shared_ptr<const EgoFeatures> ownedFeatures;
+  if (egoFeatures == nullptr && cfg_.shareEgoFeatures) {
+    ownedFeatures = primary_.computeEgoFeatures(ego);
+    egoFeatures = ownedFeatures.get();
+  }
+  const EgoFeatures* relaxedFeatures =
+      relaxedSharesFeatures_ ? egoFeatures : nullptr;
+
+  // Rung 0a: tracker-seeded fast path — only on a steady track (confident
+  // velocity-capable prediction, no misses in flight); a bootstrapping or
+  // coasting track needs the full sweep's robustness. A rejected fast
+  // attempt falls through to the full rung-0 call as if it never happened.
+  PoseRecoveryResult primary;
+  bool fastAccepted = false;
+  if (cfg_.enableFastPath && prediction && misses_ == 0 &&
+      history_.size() >= 2) {
+    BBA_SPAN("tracker-fastpath");
+    rep.fastPathAttempted = true;
+    RecoveryHints fastHints = hints;
+    fastHints.fastPath = true;
+    fastHints.maxKeypointsOther = cfg_.fastPathMaxKeypoints;
+    const PoseRecoveryResult fast = primary_.recover(
+        other, ego, rng, &rep.recovery, &fastHints, egoFeatures);
+    if (fast.success && withinGate(fast.estimate) && validated(fast)) {
+      rep.fastPathAccepted = true;
+      primary = fast;
+      fastAccepted = true;
+    }
+  }
+
   // Rung 0: the primary measurement.
-  const PoseRecoveryResult primary =
-      primary_.recover(other, ego, rng, &rep.recovery, hintsPtr);
+  if (!fastAccepted) {
+    primary = primary_.recover(other, ego, rng, &rep.recovery, hintsPtr,
+                               egoFeatures);
+  }
   if (prediction && primary.success) {
     const PoseError innov = poseError(primary.estimate, *prediction);
     rep.innovationTranslation = innov.translation;
@@ -309,8 +356,8 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
   if (prediction && cfg_.enableRelaxedRetry) {
     BBA_SPAN("tracker-relaxed-retry");
     rep.relaxedAttempted = true;
-    const PoseRecoveryResult retried =
-        relaxed_.recover(other, ego, rng, &rep.relaxedRecovery, hintsPtr);
+    const PoseRecoveryResult retried = relaxed_.recover(
+        other, ego, rng, &rep.relaxedRecovery, hintsPtr, relaxedFeatures);
     if (retried.success && withinGate(retried.estimate) &&
         !validated(retried)) {
       rep.validationRejected = true;

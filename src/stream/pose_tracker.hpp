@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/bb_align.hpp"
+#include "core/ego_cache.hpp"
 #include "dataset/sequence.hpp"
 
 namespace bba {
@@ -70,6 +71,27 @@ struct PoseTrackerConfig {
   /// frames) tolerated before the track is declared lost and the tracker
   /// re-bootstraps from scratch.
   int maxConsecutiveMisses = 4;
+
+  /// Compute the ego-side features (MIM, keypoints, descriptors) once per
+  /// update() and hand them to every recover() rung instead of letting
+  /// each rung recompute them. The relaxed aligner joins the sharing only
+  /// when egoFeatureCompatible() holds for its config (it does for
+  /// relaxedRecoveryConfig(), which touches matching/RANSAC parameters
+  /// only). Byte-identical on or off — the shared features come from the
+  /// same deterministic pipeline.
+  bool shareEgoFeatures = true;
+
+  /// Tracker-seeded fast path (rung 0a): with a steady track (confident
+  /// prediction, zero consecutive misses, velocity-capable history), try a
+  /// narrowed recover() first — yaw search collapsed to the prediction,
+  /// other-image keypoints capped at fastPathMaxKeypoints. If the fast
+  /// attempt fails or is gate/validation rejected, the full rung-0 call
+  /// runs as if the fast attempt never happened, so end-to-end success is
+  /// preserved (asserted by tests/stream_test.cpp). Off by default: it
+  /// changes rng consumption, so enabling it re-pins byte-exact outputs.
+  bool enableFastPath = false;
+  /// Fast path only: other-image keypoint budget (see RecoveryHints).
+  int fastPathMaxKeypoints = 300;
 };
 
 /// Relaxed-parameter variant of an aligner config for the rung-1 retry:
@@ -113,11 +135,15 @@ struct TrackerReport {
   bool trackLostThisFrame = false;
   bool rebootstrapped = false;  ///< this frame re-locked after a lost track
 
-  /// Rung-0 recover() account (valid when remoteReceived).
+  /// Rung-0 recover() account (valid when remoteReceived). When the fast
+  /// path was attempted *and accepted*, this IS the fast attempt's report.
   PoseRecoveryReport recovery;
   /// Rung-1 relaxed recover() account (valid when relaxedAttempted).
   bool relaxedAttempted = false;
   PoseRecoveryReport relaxedRecovery;
+  /// Rung-0a fast-path account (enableFastPath trackers only).
+  bool fastPathAttempted = false;
+  bool fastPathAccepted = false;
 
   /// One JSON object with every field above (stable key names); embeds
   /// the recover() reports under "recovery" / "relaxedRecovery". With
@@ -156,9 +182,16 @@ class PoseTracker {
 
   /// Process one received frame payload. `rng` drives the RANSAC sampling
   /// of the underlying recover() call(s).
+  ///
+  /// `egoFeatures` (optional) supplies the ego-side features precomputed
+  /// elsewhere (e.g. CooperationService's per-frame EgoFeatureCache shared
+  /// across peer sessions); they must be compatible with the primary
+  /// aligner's config (egoFeatureCompatible). When null and
+  /// cfg.shareEgoFeatures, the tracker computes them once itself.
   TrackerResult update(const CarPerceptionData& other,
                        const CarPerceptionData& ego, Rng& rng,
-                       TrackerReport* report = nullptr);
+                       TrackerReport* report = nullptr,
+                       const EgoFeatures* egoFeatures = nullptr);
 
   /// Process one frame whose remote payload never arrived (link drop):
   /// advances time and walks straight to rung 2 of the ladder.
@@ -201,6 +234,7 @@ class PoseTracker {
   PoseTrackerConfig cfg_;
   BBAlign primary_;
   BBAlign relaxed_;
+  bool relaxedSharesFeatures_ = false;  ///< egoFeatureCompatible(primary, relaxed)
   std::deque<Accepted> history_;
   int frame_ = 0;    ///< frames processed so far (next frame index)
   int misses_ = 0;   ///< consecutive misses

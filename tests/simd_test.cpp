@@ -1,0 +1,309 @@
+// SIMD determinism: every vectorized kernel must produce BYTE-identical
+// results at every dispatched ISA level (scalar / SSE2 / AVX2), and the
+// real-to-complex FFT's stored half must be bit-identical to the full
+// complex transform. These are the determinism contracts DESIGN.md
+// promises; every comparison here is on raw bits, not within a tolerance.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "core/bb_align.hpp"
+#include "core/ego_cache.hpp"
+#include "dataset/generator.hpp"
+#include "features/descriptor.hpp"
+#include "features/mim.hpp"
+#include "signal/fft.hpp"
+#include "signal/log_gabor.hpp"
+
+namespace bba {
+namespace {
+
+/// Restore the process-wide dispatch level on scope exit, whatever the
+/// test did to it.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : saved_(simdLevel()) {}
+  ~SimdLevelGuard() { setSimdLevel(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+/// Levels this host can actually dispatch to (setSimdLevel clamps, so
+/// requesting an unsupported level would silently re-test a lower one).
+std::vector<SimdLevel> dispatchableLevels() {
+  std::vector<SimdLevel> levels{SimdLevel::Scalar};
+  if (maxSupportedSimdLevel() >= SimdLevel::Sse2)
+    levels.push_back(SimdLevel::Sse2);
+  if (maxSupportedSimdLevel() >= SimdLevel::Avx2)
+    levels.push_back(SimdLevel::Avx2);
+  return levels;
+}
+
+template <typename T>
+bool bitsEqual(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// The pinned seed-4242 frame pair every identity test runs on: a real
+/// generated scene (structure, boxes, two viewpoints), not synthetic
+/// noise, so the kernels see production-shaped data.
+struct PinnedPair {
+  CarPerceptionData ego;
+  CarPerceptionData other;
+};
+
+const PinnedPair& pinnedPair(const BBAlign& aligner) {
+  static const PinnedPair pair = [&] {
+    DatasetConfig cfg;
+    cfg.seed = 4242;
+    const DatasetGenerator gen(cfg);
+    const auto p = gen.generatePair(0);
+    BBA_ASSERT(p.has_value());
+    PinnedPair out;
+    out.ego = aligner.makeCarData(p->egoCloud, p->egoDets);
+    out.other = aligner.makeCarData(p->otherCloud, p->otherDets);
+    return out;
+  }();
+  return pair;
+}
+
+TEST(SimdDispatch, EnvironmentAndOverrideClampToHardware) {
+  SimdLevelGuard guard;
+  setSimdLevel(SimdLevel::Avx2);
+  EXPECT_LE(static_cast<int>(simdLevel()),
+            static_cast<int>(maxSupportedSimdLevel()));
+  setSimdLevel(SimdLevel::Scalar);
+  EXPECT_EQ(simdLevel(), SimdLevel::Scalar);
+}
+
+TEST(SimdIdentity, Fft1dBitIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  Rng rng(4242);
+  std::vector<Complexf> input(256);
+  for (Complexf& c : input)
+    c = Complexf(static_cast<float>(rng.uniform(-1.0, 1.0)),
+                 static_cast<float>(rng.uniform(-1.0, 1.0)));
+
+  setSimdLevel(SimdLevel::Scalar);
+  std::vector<Complexf> reference = input;
+  fft1d(reference, false);
+
+  for (SimdLevel level : dispatchableLevels()) {
+    setSimdLevel(level);
+    std::vector<Complexf> probe = input;
+    fft1d(probe, false);
+    EXPECT_TRUE(bitsEqual(probe, reference)) << toString(level);
+    // And the inverse returns bit-stable data too.
+    fft1d(probe, true);
+    std::vector<Complexf> roundTrip = probe;
+    setSimdLevel(SimdLevel::Scalar);
+    std::vector<Complexf> scalarInv = reference;
+    fft1d(scalarInv, true);
+    EXPECT_TRUE(bitsEqual(roundTrip, scalarInv)) << toString(level);
+  }
+}
+
+TEST(SimdIdentity, AbsAccumulateBitIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  Rng rng(4242);
+  std::vector<Complexf> src(1037);  // odd length: exercises every tail
+  for (Complexf& c : src)
+    c = Complexf(static_cast<float>(rng.uniform(-10.0, 10.0)),
+                 static_cast<float>(rng.uniform(-10.0, 10.0)));
+  std::vector<float> init(src.size());
+  for (float& v : init) v = static_cast<float>(rng.uniform(0.0, 5.0));
+
+  setSimdLevel(SimdLevel::Scalar);
+  std::vector<float> reference = init;
+  absAccumulate(src.data(), reference.data(), src.size());
+
+  for (SimdLevel level : dispatchableLevels()) {
+    setSimdLevel(level);
+    std::vector<float> probe = init;
+    absAccumulate(src.data(), probe.data(), src.size());
+    EXPECT_TRUE(bitsEqual(probe, reference)) << toString(level);
+  }
+}
+
+TEST(SimdIdentity, RealToComplexFftMatchesFullTransformBitExactly) {
+  Rng rng(4242);
+  ImageF img(64, 32);
+  for (float& v : img.data()) v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+  ComplexImage full = ComplexImage::fromReal(img);
+  fft2d(full, false);
+  const HalfSpectrum half = fftReal2d(img);
+
+  ASSERT_EQ(half.fullWidth(), img.width());
+  ASSERT_EQ(half.height(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < half.halfWidth(); ++x) {
+      const Complexf a = half(x, y);
+      const Complexf b = full(x, y);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0) << "(" << x << "," << y
+                                                  << ")";
+    }
+  }
+  // The mirrored columns are exact in real arithmetic (documented as not
+  // necessarily bit-exact): conj symmetry within float tolerance.
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = half.halfWidth(); x < img.width(); ++x) {
+      const Complexf a = half.at(x, y);
+      const Complexf b = full(x, y);
+      EXPECT_NEAR(a.real(), b.real(), 2e-3f);
+      EXPECT_NEAR(a.imag(), b.imag(), 2e-3f);
+    }
+  }
+}
+
+TEST(SimdIdentity, MimByteIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  const BBAlign aligner;
+  const PinnedPair& pair = pinnedPair(aligner);
+
+  setSimdLevel(SimdLevel::Scalar);
+  const MimResult refEgo = aligner.computeImageMim(pair.ego.bvImage);
+  const MimResult refOther = aligner.computeImageMim(pair.other.bvImage);
+
+  for (SimdLevel level : dispatchableLevels()) {
+    setSimdLevel(level);
+    const MimResult ego = aligner.computeImageMim(pair.ego.bvImage);
+    const MimResult other = aligner.computeImageMim(pair.other.bvImage);
+    EXPECT_TRUE(bitsEqual(ego.mim.data(), refEgo.mim.data()))
+        << toString(level);
+    EXPECT_TRUE(bitsEqual(ego.peakAmplitude.data(),
+                          refEgo.peakAmplitude.data()))
+        << toString(level);
+    EXPECT_TRUE(bitsEqual(ego.totalAmplitude.data(),
+                          refEgo.totalAmplitude.data()))
+        << toString(level);
+    EXPECT_TRUE(bitsEqual(ego.orientation.data(), refEgo.orientation.data()))
+        << toString(level);
+    EXPECT_TRUE(bitsEqual(other.mim.data(), refOther.mim.data()))
+        << toString(level);
+    EXPECT_TRUE(bitsEqual(other.orientation.data(),
+                          refOther.orientation.data()))
+        << toString(level);
+  }
+}
+
+TEST(SimdIdentity, DescriptorsByteIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  const BBAlign aligner;
+  const PinnedPair& pair = pinnedPair(aligner);
+  // A non-trivial fixed angle exercises the rotated-patch coordinate path
+  // (the zero-angle path is covered by the MIM/service identity tests).
+  const double fixedAngle = 0.37;
+
+  setSimdLevel(SimdLevel::Scalar);
+  const DescriptorSet ref = aligner.describe(pair.other.bvImage, fixedAngle);
+  ASSERT_GT(ref.size(), 0u);
+
+  for (SimdLevel level : dispatchableLevels()) {
+    setSimdLevel(level);
+    const DescriptorSet probe =
+        aligner.describe(pair.other.bvImage, fixedAngle);
+    ASSERT_EQ(probe.size(), ref.size()) << toString(level);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_TRUE(bitsEqual(probe.descriptor(i), ref.descriptor(i)))
+          << toString(level) << " descriptor " << i;
+    }
+  }
+}
+
+TEST(SimdIdentity, DescriptorDistanceBitIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  Rng rng(4242);
+  // 192 floats = the production descriptor dimension (4*4 grid x 12
+  // orientations), a multiple of the 8-lane block.
+  std::vector<float> a(192), b(192), shortA(37), shortB(37);
+  for (float& v : a) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (float& v : b) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (float& v : shortA) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (float& v : shortB) v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+  setSimdLevel(SimdLevel::Scalar);
+  const float ref = descriptorDistance2(a, b);
+  const float refShort = descriptorDistance2(shortA, shortB);
+
+  for (SimdLevel level : dispatchableLevels()) {
+    setSimdLevel(level);
+    const float d = descriptorDistance2(a, b);
+    const float dShort = descriptorDistance2(shortA, shortB);
+    EXPECT_EQ(std::memcmp(&d, &ref, sizeof d), 0) << toString(level);
+    EXPECT_EQ(std::memcmp(&dShort, &refShort, sizeof dShort), 0)
+        << toString(level);
+  }
+}
+
+TEST(SimdIdentity, EndToEndRecoverByteIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  const BBAlign aligner;
+  const PinnedPair& pair = pinnedPair(aligner);
+
+  auto runAt = [&](SimdLevel level) {
+    setSimdLevel(level);
+    Rng rng(7);
+    return aligner.recover(pair.other, pair.ego, rng);
+  };
+
+  const PoseRecoveryResult ref = runAt(SimdLevel::Scalar);
+  for (SimdLevel level : dispatchableLevels()) {
+    const PoseRecoveryResult r = runAt(level);
+    EXPECT_EQ(r.success, ref.success) << toString(level);
+    EXPECT_EQ(std::memcmp(&r.estimate, &ref.estimate, sizeof r.estimate), 0)
+        << toString(level);
+    EXPECT_EQ(r.inliersBv, ref.inliersBv) << toString(level);
+    EXPECT_EQ(r.inliersBox, ref.inliersBox) << toString(level);
+    EXPECT_EQ(r.keypointMatches, ref.keypointMatches) << toString(level);
+  }
+}
+
+TEST(EgoFeatureCache, CachedRecoverIsByteIdenticalToInline) {
+  const BBAlign aligner;
+  const PinnedPair& pair = pinnedPair(aligner);
+
+  Rng rngInline(7);
+  const PoseRecoveryResult inlineRun =
+      aligner.recover(pair.other, pair.ego, rngInline);
+
+  const auto feats = aligner.computeEgoFeatures(pair.ego);
+  Rng rngCached(7);
+  const PoseRecoveryResult cachedRun = aligner.recover(
+      pair.other, pair.ego, rngCached, nullptr, nullptr, feats.get());
+
+  EXPECT_EQ(cachedRun.success, inlineRun.success);
+  EXPECT_EQ(std::memcmp(&cachedRun.estimate, &inlineRun.estimate,
+                        sizeof cachedRun.estimate),
+            0);
+  EXPECT_EQ(cachedRun.inliersBv, inlineRun.inliersBv);
+  EXPECT_EQ(cachedRun.inliersBox, inlineRun.inliersBox);
+  EXPECT_EQ(cachedRun.keypointMatches, inlineRun.keypointMatches);
+  EXPECT_EQ(cachedRun.overlapScore, inlineRun.overlapScore);
+}
+
+TEST(EgoFeatureCache, CompatibilityTracksFeatureParametersOnly) {
+  const BBAlignConfig base;
+  BBAlignConfig matchingOnly = base;
+  matchingOnly.matching.topK += 1;
+  matchingOnly.ransacBv.inlierThreshold *= 1.5;
+  matchingOnly.minOverlapScore *= 0.5;
+  EXPECT_TRUE(egoFeatureCompatible(base, matchingOnly));
+
+  BBAlignConfig differentBank = base;
+  differentBank.logGabor.numOrientations += 1;
+  EXPECT_FALSE(egoFeatureCompatible(base, differentBank));
+
+  BBAlignConfig differentDetector = base;
+  differentDetector.blockMax.maxKeypoints += 10;
+  EXPECT_FALSE(egoFeatureCompatible(base, differentDetector));
+}
+
+}  // namespace
+}  // namespace bba

@@ -607,6 +607,42 @@ TEST(PoseTrackerStream, CoverageStrictlyBeatsRawPerFrameRecovery) {
   EXPECT_EQ(trackerPoses, static_cast<int>(frames.size()));
 }
 
+TEST(PoseTrackerStream, FastPathPreservesOutcomesOnTheAcceptanceSequence) {
+  const auto& frames = faultedSequence();
+  const auto& baseline = trackedAt1Thread();
+
+  PoseTrackerConfig cfg;
+  cfg.enableFastPath = true;
+  PoseTracker tracker(cfg);
+  Rng rng(11);
+  int attempted = 0, accepted = 0;
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    TrackerReport rep;
+    const TrackerResult r = tracker.processFrame(frames[k], rng, &rep);
+    // The contract: the narrowed first attempt plus full-pipeline fallback
+    // must land on the same ladder rung as the always-full baseline...
+    EXPECT_EQ(r.poseValid, baseline[k].result.poseValid) << "frame " << k;
+    EXPECT_EQ(r.outcome, baseline[k].result.outcome) << "frame " << k;
+    // ...with the same accuracy bounds the baseline is pinned to.
+    if (frames[k].remoteReceived) {
+      const PoseError e = poseError(r.pose, frames[k].gtDeliveredOtherToEgo);
+      EXPECT_LT(e.translation, 1.0) << "frame " << k;
+    } else if (r.poseValid) {
+      const PoseError e = poseError(r.pose, frames[k].gtOtherToEgo);
+      EXPECT_LT(e.translation, 1.5) << "frame " << k;
+    }
+    if (rep.fastPathAttempted) ++attempted;
+    if (rep.fastPathAccepted) {
+      ++accepted;
+      EXPECT_EQ(rep.outcome, TrackerOutcome::Recovered) << "frame " << k;
+    }
+  }
+  // A steady track exists from frame 5 on (drops at 1 and 3 reset the
+  // misses counter): the fast path must actually engage and succeed.
+  EXPECT_GE(attempted, 3);
+  EXPECT_GE(accepted, 1);
+}
+
 TEST(PoseTrackerStream, ByteIdenticalAtOneAndEightThreads) {
   const auto& t1 = trackedAt1Thread();
   const auto& t8 = trackedAt8Threads();

@@ -7,7 +7,8 @@
 2. Taxonomy gate: every ``RecoveryFailure`` enumerator (parsed from
    src/obs/report.hpp), every ``wire::DecodeError`` enumerator (parsed
    from src/wire/frame.hpp), and every ``stream.*`` / ``wire.*`` /
-   ``service.*`` metric name (parsed from the emitting sources) must
+   ``service.*`` / ``health.*`` / ``validate.*`` / ``cache.*`` /
+   ``fastpath.*`` metric name (parsed from the emitting sources) must
    appear somewhere in the checked documents — the docs may not silently
    fall behind the code.
 
@@ -147,6 +148,26 @@ def validate_metric_names() -> list:
     return sorted(names)
 
 
+def cache_metric_names() -> list:
+    """cache.* counters (Log-Gabor bank cache + ego-feature cache)."""
+    names = set()
+    for sub in ("signal", "core", "service"):
+        for src in sorted((REPO / "src" / sub).glob("*.cpp")):
+            names.update(re.findall(r"\"(cache\.\w+)\"", src.read_text(
+                encoding="utf-8")))
+    return sorted(names)
+
+
+def fastpath_metric_names() -> list:
+    """fastpath.* counters (tracker-seeded narrowed recover())."""
+    names = set()
+    for sub in ("core", "stream"):
+        for src in sorted((REPO / "src" / sub).glob("*.cpp")):
+            names.update(re.findall(r"\"(fastpath\.\w+)\"", src.read_text(
+                encoding="utf-8")))
+    return sorted(names)
+
+
 def peer_health_states() -> list:
     """String forms of the PeerHealth FSM states (from toString)."""
     source = (REPO / "src" / "service" / "peer_health.cpp").read_text(
@@ -183,7 +204,8 @@ def main() -> int:
                 f"DecodeError value '{name}' is undocumented "
                 f"(not found in any checked document)")
     for name in (wire_metric_names() + service_metric_names()
-                 + health_metric_names() + validate_metric_names()):
+                 + health_metric_names() + validate_metric_names()
+                 + cache_metric_names() + fastpath_metric_names()):
         if name not in corpus:
             errors.append(
                 f"metric '{name}' is undocumented "
@@ -201,7 +223,8 @@ def main() -> int:
         return 1
     metric_count = (len(stream_metric_names()) + len(wire_metric_names())
                     + len(service_metric_names()) + len(health_metric_names())
-                    + len(validate_metric_names()))
+                    + len(validate_metric_names()) + len(cache_metric_names())
+                    + len(fastpath_metric_names()))
     print(f"docs-health: OK ({len(DOCS)} documents, "
           f"{len(recovery_failure_enumerators())} failure values, "
           f"{len(decode_error_enumerators())} decode-error values, "

@@ -28,6 +28,9 @@ STAGE_NAMES = {
     "BM_DescribeBvImage": "descriptors",
     "BM_RansacRigid2D": "ransac",
     "BM_RecoverPose": "recover_pose_end_to_end",
+    "BM_ServiceProcessFrame/peers:1": "service_frame_1peer",
+    "BM_ServiceProcessFrame/peers:2": "service_frame_2peers",
+    "BM_ServiceProcessFrame/peers:4": "service_frame_4peers",
 }
 
 
@@ -57,15 +60,19 @@ def main() -> int:
     with open(raw_path) as f:
         raw = json.load(f)
 
-    # name -> {threads: real_time_ns}
+    # name -> {threads: real_time_ns}; multi-peer service benches
+    # ("BM_Name/peers:P/threads:T") fold the peer count into the stage key
+    # so the peer-scaling curve survives distillation.
     timings = {}
     for bench in raw.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        m = re.match(r"^(BM_\w+)/threads:(\d+)$", bench["name"])
+        m = re.match(r"^(BM_\w+)(?:/peers:(\d+))?/threads:(\d+)$", bench["name"])
         if not m:
             continue
-        name, threads = m.group(1), int(m.group(2))
+        name, peers, threads = m.group(1), m.group(2), int(m.group(3))
+        if peers is not None:
+            name = f"{name}/peers:{peers}"
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
         timings.setdefault(name, {})[threads] = bench["real_time"] * scale
@@ -85,11 +92,20 @@ def main() -> int:
             entry["speedup"] = round(serial / threaded, 3)
         stages[stage] = entry
 
+    context = raw.get("context", {})
+    # "bba_build_type" is OUR library's build type (AddCustomContext in
+    # bench/perf_micro.cpp); the stock "library_build_type" key describes
+    # the system libbenchmark package and is only a fallback.
+    build_type = context.get("bba_build_type") or context.get(
+        "library_build_type"
+    )
+    host_cpus = context.get("bba_host_cpus")
     out = {
         "benchmark": "bench/perf_micro",
-        "host_cpus": os.cpu_count(),
+        "library_build_type": build_type,
+        "host_cpus": int(host_cpus) if host_cpus else os.cpu_count(),
         "context": {
-            k: raw.get("context", {}).get(k)
+            k: context.get(k)
             for k in ("date", "num_cpus", "mhz_per_cpu", "library_build_type")
         },
         "note": (

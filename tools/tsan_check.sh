@@ -11,7 +11,7 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DBBA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test service_test health_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test service_test health_test simd_test -j"$(nproc)"
 
 # Force the pool on even when the host reports a single CPU: TSan finds
 # races through happens-before analysis, not timing, so timesliced worker
@@ -22,6 +22,12 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 "$BUILD_DIR/tests/parallel_test"
 "$BUILD_DIR/tests/features_test"
 "$BUILD_DIR/tests/obs_test"
+# SIMD kernels run inside parallelFor chunks, and the bank / ego-feature
+# caches are shared mutable state behind mutexes: the identity suite
+# drives both under the pool. The heavyweight end-to-end identity test is
+# skipped (its code paths are covered by the cheap kernel-level ones).
+"$BUILD_DIR/tests/simd_test" \
+  --gtest_filter='-SimdIdentity.EndToEndRecoverByteIdenticalAcrossLevels'
 # The tracker drives recover() through the pool too; the heavyweight
 # pinned-scenario suites are skipped under TSan (they re-cover the same
 # code paths many times over — a race would already show here).
