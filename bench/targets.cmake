@@ -33,6 +33,15 @@ target_compile_definitions(perf_micro PRIVATE
 set_target_properties(perf_micro PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 
+# Fleet-scale service benchmark (google-benchmark, manual per-frame timing):
+# peers x recover-budget sweep emitting fps / p50 / p99 / coverage / shed.
+add_executable(fleet_scale ${BBA_BENCH_DIR}/fleet_scale.cpp)
+target_link_libraries(fleet_scale PRIVATE bba benchmark::benchmark)
+target_compile_definitions(fleet_scale PRIVATE
+  BBA_BUILD_TYPE="$<LOWER_CASE:$<CONFIG>>")
+set_target_properties(fleet_scale PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+
 # `cmake --build <dir> --target run_perf` runs the suite and distills
 # BENCH_PR1.json at the repo root (serial vs. threaded ns/op per stage).
 add_custom_target(run_perf

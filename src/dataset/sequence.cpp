@@ -85,6 +85,45 @@ StreamFrame SequenceGenerator::frame(int k) const {
   return f;
 }
 
+Pose2 SequenceGenerator::gtPeerToEgoAt(int peerIdx, double tEgo,
+                                       double tPeer) const {
+  BBA_ASSERT(peerIdx >= 0 && peerIdx < peerCount());
+  const Pose2 egoPose =
+      world_.vehicleById(world_.egoVehicleId).trajectory.pose(tEgo);
+  const Pose2 peerPose =
+      world_.vehicleById(world_.peerVehicleIds[static_cast<std::size_t>(
+                             peerIdx)])
+          .trajectory.pose(tPeer);
+  return egoPose.inverse().compose(peerPose);
+}
+
+PeerObservation SequenceGenerator::peerObservation(int k, int peerIdx) const {
+  BBA_ASSERT(k >= 0 && k < cfg_.frames);
+  BBA_ASSERT(peerIdx >= 0 && peerIdx < peerCount());
+  const int vehicleId =
+      world_.peerVehicleIds[static_cast<std::size_t>(peerIdx)];
+  const double t = k * cfg_.framePeriod;
+  const ScanOptions scanOpt{.motionDistortion = cfg_.motionDistortion};
+  PeerObservation obs;
+  obs.vehicleId = vehicleId;
+  // Roles 2+2p / 3+2p: peer 0 reuses the legacy remote roles (2/3), so an
+  // unfaulted frame(k) remote payload and peerObservation(k, 0) coincide.
+  {
+    Rng rng = sensingRng(cfg_.seed, k,
+                         2 + 2 * static_cast<std::uint64_t>(peerIdx));
+    obs.cloud = scanVehicle(world_, vehicleId, cfg_.otherLidar, t, rng,
+                            scanOpt);
+  }
+  {
+    Rng rng = sensingRng(cfg_.seed, k,
+                         3 + 2 * static_cast<std::uint64_t>(peerIdx));
+    obs.dets = simulateDetections(world_, vehicleId, cfg_.otherLidar, t,
+                                  cfg_.detector, rng, cfg_.motionDistortion);
+  }
+  obs.gtPeerToEgo = gtPeerToEgoAt(peerIdx, t, t);
+  return obs;
+}
+
 std::vector<StreamFrame> SequenceGenerator::generate() const {
   std::vector<StreamFrame> out;
   out.reserve(static_cast<std::size_t>(cfg_.frames));

@@ -69,6 +69,19 @@ struct StreamFrame {
   Pose2 gtOtherToEgo;
 };
 
+/// What one cooperative peer transmits at one frame, before any fault
+/// model: its own sensing (cloud + detections) plus the ground-truth pose
+/// of the peer relative to the ego car at that instant. Peer index 0 is the
+/// classic instrumented "other" car; higher indices exist only when
+/// ScenarioConfig::cooperativePeers > 1.
+struct PeerObservation {
+  int vehicleId = -1;
+  PointCloud cloud;
+  Detections dets;
+  /// Peer car at frame time -> ego car at frame time.
+  Pose2 gtPeerToEgo;
+};
+
 /// Deterministic stream generator: frame `k` of a given config is always
 /// the same scene, scans, detections and faults, independent of the order
 /// frames are requested in.
@@ -88,6 +101,20 @@ class SequenceGenerator {
   /// Ground-truth relative pose: remote car at `tOther` -> ego car at
   /// `tEgo` (both in scenario time).
   [[nodiscard]] Pose2 gtOtherToEgoAt(double tEgo, double tOther) const;
+
+  // ---- fleet-scale accessors (PR 7) -----------------------------------
+  /// Number of cooperating (transmitting) peers in the world.
+  [[nodiscard]] int peerCount() const {
+    return static_cast<int>(world_.peerVehicleIds.size());
+  }
+  /// Unfaulted sensing of peer `peerIdx` (0-based, < peerCount()) at frame
+  /// k's sweep-end time. Each peer consumes its own decorrelated sensing
+  /// stream (roles 2+2p / 3+2p); peerObservation(k, 0) is byte-identical
+  /// to frame(k)'s remote payload when no faults are configured.
+  [[nodiscard]] PeerObservation peerObservation(int k, int peerIdx) const;
+  /// Ground truth for any peer: peer `peerIdx` at `tPeer` -> ego at `tEgo`.
+  [[nodiscard]] Pose2 gtPeerToEgoAt(int peerIdx, double tEgo,
+                                    double tPeer) const;
 
  private:
   SequenceConfig cfg_;

@@ -27,11 +27,12 @@ void appendStatsJson(std::string& out, const SessionStats& s) {
       buf, sizeof buf,
       "{\"peer\":%llu,\"frames\":%d,\"link_drops\":%d,\"decode_ok\":%d,"
       "\"decode_failed\":%d,\"payload_mismatch\":%d,\"bytes_received\":%lld,"
-      "\"poses_reported\":%d,\"last_confidence\":%.6f",
+      "\"poses_reported\":%d,\"last_confidence\":%.6f,"
+      "\"pregate_skips\":%d,\"shed_frames\":%d,\"recover_slots\":%d",
       static_cast<unsigned long long>(s.peerId), s.frames, s.linkDrops,
       s.decodeOk, s.decodeFailed, s.payloadMismatch,
       static_cast<long long>(s.bytesReceived), s.posesReported,
-      s.lastConfidence);
+      s.lastConfidence, s.pregateSkips, s.shedFrames, s.recoverSlots);
   out += buf;
   out += ",\"reject_by_cause\":{";
   bool first = true;
@@ -134,6 +135,9 @@ struct CooperationService::Session {
   Rng rng;
   SessionStats stats;
   PeerHealthFsm health;
+  /// Frames since this session was last granted a recover slot (see
+  /// admission.hpp: resets on grant, so the shed rotation cannot starve).
+  int staleness = 0;
   // Replay guard state: metadata of the last accepted message.
   bool haveLastMeta = false;
   std::uint32_t lastFrameIndex = 0;
@@ -190,6 +194,72 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   for (std::size_t i = 0; i < inputs.size(); ++i)
     bySlot[i] = &sessionFor(inputs[i].peerId);
 
+  // ---- Admission (serial, deterministic) -------------------------------
+  // Stage 1, spatial pre-gate: peek each payload's wire prefix (framing +
+  // CRC + claim; the BV image and boxes — the expensive 99% — stay
+  // untouched) and drop sessions whose claimed pose cannot overlap the
+  // ego BV footprint. A peek failure admits the payload so the full
+  // decoder classifies (and the health FSM penalizes) the reject as
+  // before. Claims only ever REMOVE work: they never seed a track, so a
+  // spoofed claim can waste at most its own session's slot.
+  struct Admission {
+    bool pregateSkipped = false;
+    bool shed = false;
+    bool hasPeekClaim = false;
+    Pose2 peekClaim;
+  };
+  std::vector<Admission> admission(inputs.size());
+  std::vector<SlotCandidate> candidates;
+  candidates.reserve(inputs.size());
+  const double bvRange = cfg_.tracker.aligner.bev.range;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const PeerFrameInput& in = inputs[i];
+    if (in.payload == nullptr) continue;  // link drop: coasts, no slot
+    if (cfg_.enableHealth && !bySlot[i]->health.shouldProcess())
+      continue;  // quarantined: excluded entirely, not even peeked
+    Admission& adm = admission[i];
+    if (cfg_.pregate.enable) {
+      const wire::MessagePeek pk = wire::peek(*in.payload);
+      if (pk.error == wire::DecodeError::None && pk.hasPosePrior) {
+        adm.hasPeekClaim = true;
+        adm.peekClaim = pk.posePrior;
+        if (!preGateAdmits(pk.posePrior, bvRange, cfg_.pregate)) {
+          adm.pregateSkipped = true;
+          continue;
+        }
+      }
+    }
+    candidates.push_back({in.peerId, bySlot[i]->staleness, i});
+  }
+
+  // Stage 2, recover budget: staleness-first, ties by session id. The
+  // schedule is a pure function of (session staleness, peer ids, budget)
+  // — no wall clock, no thread count — so results stay byte-identical at
+  // any BBA_THREADS. Staleness resets on GRANT (not on lock): a session
+  // that keeps failing still rotates through, and no session waits more
+  // than ceil(sessions/budget) frames.
+  const int recoverBudget = effectiveRecoverBudget(cfg_.budget);
+  std::vector<char> granted(inputs.size(), 0);
+  if (recoverBudget > 0 &&
+      candidates.size() > static_cast<std::size_t>(recoverBudget)) {
+    for (std::size_t slot : grantRecoverSlots(candidates, recoverBudget))
+      granted[slot] = 1;
+    for (const auto& c : candidates)
+      if (!granted[c.slot]) admission[c.slot].shed = true;
+  } else {
+    for (const auto& c : candidates) granted[c.slot] = 1;
+  }
+  bool anyGranted = false;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Session& session = *bySlot[i];
+    if (granted[i]) {
+      session.staleness = 0;
+      anyGranted = true;
+    } else {
+      session.staleness += 1;
+    }
+  }
+
   // Frame-scoped ego-feature sharing: each session "gets" this frame's
   // ego features from the cache — the first get computes them
   // (cache.ego_miss), every later get returns the same immutable set
@@ -198,9 +268,11 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   // features come from the identical deterministic pipeline.
   // Skipped when the ego payload is absent or mis-sized (callers whose
   // every input coasts may legitimately pass an empty ego).
+  // Skipped entirely when no session was granted a slot: an all-skipped/
+  // all-shed/all-coasting frame must cost no ego pipeline either.
   std::shared_ptr<const EgoFeatures> sharedEgo;
   const int egoExpected = cfg_.tracker.aligner.bev.imageSize();
-  if (cfg_.enableEgoFeatureCache && n > 0 &&
+  if (cfg_.enableEgoFeatureCache && anyGranted &&
       ego.bvImage.width() == egoExpected &&
       ego.bvImage.height() == egoExpected) {
     BBA_SPAN("service.ego-features");
@@ -228,6 +300,23 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       }
       if (in.payload == nullptr) {
         res.track = session.tracker.coast(&res.report);
+        continue;
+      }
+      const Admission& adm = admission[static_cast<std::size_t>(i)];
+      if (adm.pregateSkipped || adm.shed) {
+        // Tracked-but-not-aligned: the payload arrived but the admission
+        // stage withheld it (out-of-range claim, or no budget left). The
+        // tracker holds the pose by extrapolation without charging its
+        // miss budget — skipFrame(), not coast().
+        res.received = true;
+        res.payloadBytes = in.payload->size();
+        res.pregateSkipped = adm.pregateSkipped;
+        res.shed = adm.shed;
+        if (adm.hasPeekClaim) {
+          res.hasClaim = true;
+          res.claim = adm.peekClaim;
+        }
+        res.track = session.tracker.skipFrame(&res.report);
         continue;
       }
       res.received = true;
@@ -339,7 +428,13 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
     } else {
       st.outcomes[static_cast<std::size_t>(res.track.outcome)] += 1;
       st.lastConfidence = res.track.confidence;
-      if (!res.received) {
+      if (res.pregateSkipped) {
+        st.pregateSkips += 1;
+        BBA_COUNTER_ADD("service.pregate_skipped", 1);
+      } else if (res.shed) {
+        st.shedFrames += 1;
+        BBA_COUNTER_ADD("service.shed", 1);
+      } else if (!res.received) {
         st.linkDrops += 1;
         BBA_COUNTER_ADD("service.link_drops", 1);
       } else if (res.decodeError != wire::DecodeError::None) {
@@ -366,6 +461,12 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       if (res.track.poseValid) {
         st.posesReported += 1;
         BBA_COUNTER_ADD("service.poses_reported", 1);
+      }
+      if (res.received && !res.pregateSkipped && !res.shed) {
+        // Granted a decode+recover slot (whether or not the decode then
+        // succeeded — the slot was spent either way).
+        st.recoverSlots += 1;
+        BBA_COUNTER_ADD("service.recover_slots", 1);
       }
     }
     if (cfg_.enableHealth) {
@@ -415,6 +516,13 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   frames_ += 1;
   BBA_COUNTER_ADD("service.frames", 1);
   BBA_COUNTER_ADD("service.inputs", n);
+  for (const Admission& adm : admission) {
+    if (adm.shed) {
+      // Once per frame: the budget was insufficient for the admitted set.
+      BBA_COUNTER_ADD("service.budget_exhausted", 1);
+      break;
+    }
+  }
   return results;
 }
 
@@ -437,6 +545,9 @@ ServiceReport CooperationService::report() const {
     for (std::size_t i = 0; i < st.outcomes.size(); ++i)
       rep.aggregate.outcomes[i] += st.outcomes[i];
     rep.aggregate.posesReported += st.posesReported;
+    rep.aggregate.pregateSkips += st.pregateSkips;
+    rep.aggregate.shedFrames += st.shedFrames;
+    rep.aggregate.recoverSlots += st.recoverSlots;
     rep.aggregate.suspicion += st.suspicion;
     rep.aggregate.quarantines += st.quarantines;
     rep.aggregate.quarantinedFrames += st.quarantinedFrames;

@@ -11,6 +11,7 @@
 #include "core/bb_align.hpp"
 #include "core/ego_cache.hpp"
 #include "geom/pose2.hpp"
+#include "service/admission.hpp"
 #include "service/peer_health.hpp"
 #include "stream/pose_tracker.hpp"
 #include "wire/message.hpp"
@@ -66,6 +67,21 @@ struct ServiceConfig {
   /// match + RANSAC) instead of peers x full recover(). Byte-identical on
   /// or off (asserted by tests/service_test.cpp).
   bool enableEgoFeatureCache = true;
+
+  /// Fleet-scale admission (see service/admission.hpp). Stage 1, spatial
+  /// pre-gate: a message whose claimed pose prior puts the peer's BV
+  /// footprint out of pairing range is not even decoded — the session is
+  /// held on a cheap "tracked-but-not-aligned" rung (TrackerOutcome::Held)
+  /// at zero recover() cost. Claim-less messages always pass. On by
+  /// default: in-range fleets see byte-identical results either way
+  /// (asserted by tests/admission_test.cpp).
+  PreGateConfig pregate;
+  /// Stage 2, per-frame work budget: at most effectiveRecoverBudget()
+  /// admitted sessions get a decode+recover slot per frame; the rest are
+  /// shed onto the same Held rung and move to the front of the line next
+  /// frame (staleness-first, ties by session id — a deterministic,
+  /// starvation-free round-robin). Unlimited by default.
+  BudgetConfig budget;
 };
 
 /// One peer's input for one service frame.
@@ -93,6 +109,15 @@ struct SessionFrameResult {
   /// A cleanly decoded message violated frame-index/capture-time
   /// monotonicity and was rejected by the replay guard; the frame coasted.
   bool replayRejected = false;
+  /// The payload arrived but its claimed pose prior failed the spatial
+  /// pre-gate: nothing was decoded beyond the wire prefix, the session
+  /// held its track (TrackerOutcome::Held) at zero recover() cost. The
+  /// claim below is the peeked one.
+  bool pregateSkipped = false;
+  /// The payload arrived and was admitted, but the frame's recover budget
+  /// was exhausted before this session's turn: the session held its track
+  /// this frame and is first in line next frame.
+  bool shed = false;
   /// The message carried a pose-prior claim (recorded for the cross-peer
   /// consistency vote even when the track is warm).
   bool hasClaim = false;
@@ -123,6 +148,14 @@ struct SessionStats {
   /// Frames that reported a valid pose.
   int posesReported = 0;
   double lastConfidence = 0.0;
+
+  // ---- fleet-scale admission accounting (PR 7) -------------------------
+  /// Frames skipped by the spatial pre-gate (claim out of pairing range).
+  int pregateSkips = 0;
+  /// Frames shed by the per-frame recover budget.
+  int shedFrames = 0;
+  /// Frames this session was granted a decode+recover slot.
+  int recoverSlots = 0;
 
   // ---- trust / health accounting (PR 5) --------------------------------
   /// FSM state after the session's latest frame.
@@ -199,10 +232,13 @@ class CooperationService {
       const Pose2* posePrior = nullptr,
       std::int64_t captureTimeMicros = 0) const;
 
-  /// Process one frame of received traffic: decode every peer's payload,
-  /// run each session's tracker step (cross-session parallel), and return
-  /// one result per input, in input order. Peer ids within one call must
-  /// be distinct. Sessions are created on first sight of a peer id.
+  /// Process one frame of received traffic: admit (spatial pre-gate +
+  /// recover budget, both serial and deterministic), decode every admitted
+  /// peer's payload, run each session's tracker step (cross-session
+  /// parallel), and return one result per input, in input order. Skipped
+  /// and shed sessions hold their track (TrackerOutcome::Held) without a
+  /// decode or recover. Peer ids within one call must be distinct.
+  /// Sessions are created on first sight of a peer id.
   std::vector<SessionFrameResult> processFrame(
       const CarPerceptionData& ego,
       const std::vector<PeerFrameInput>& inputs);

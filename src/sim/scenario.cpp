@@ -264,6 +264,33 @@ World makeScenario(const ScenarioConfig& cfg, Rng& rng) {
     world.vehicles.push_back(v);
   }
 
+  // --- Extra cooperative peers -----------------------------------------------
+  // Drawn strictly LAST so every world with cooperativePeers <= 1 (the
+  // default) is byte-identical to what this function produced before the
+  // knob existed. Peers alternate ahead/behind the instrumented pair at
+  // peerSpacing increments, in the ego lane with small lateral/heading
+  // jitter, so a large fleet naturally spans in-range and out-of-range
+  // claimed poses for the service admission stage.
+  world.peerVehicleIds.push_back(world.otherVehicleId);
+  if (cfg.cooperativePeers > 1) {
+    for (int i = 1; i < cfg.cooperativePeers; ++i) {
+      const int k = (i + 1) / 2;
+      const double sign = (i % 2 == 1) ? 1.0 : -1.0;
+      const double station =
+          midStation + sign * cfg.peerSpacing * static_cast<double>(k) +
+          rng.uniform(-1.5, 1.5);
+      SimVehicle peer;
+      peer.id = nextId++;
+      peer.size = randomCarSize(rng);
+      const double lat = laneY + rng.uniform(-0.4, 0.4);
+      const double speed = cfg.egoSpeed + rng.uniform(-1.0, 1.0);
+      const double heading = rng.uniform(-2.0, 2.0) * kDegToRad;
+      peer.trajectory = roadTrajectory(station, lat, speed, heading, curv);
+      world.vehicles.push_back(peer);
+      world.peerVehicleIds.push_back(peer.id);
+    }
+  }
+
   (void)egoStart;
   (void)otherStart;
   return world;

@@ -41,6 +41,17 @@ struct ScenarioConfig {
   double otherHeadingJitterDeg = 8.0;
   /// Other car drives the opposite direction (oncoming).
   bool oppositeDirection = false;
+
+  /// Cooperative fleet size (vehicles that transmit V2V payloads). 1 keeps
+  /// the classic instrumented pair; larger values append extra transmitting
+  /// vehicles strung out along the road (spacing `peerSpacing` meters,
+  /// alternating ahead/behind the pair) so a fleet's claimed poses span
+  /// in-range and out-of-range peers for the admission stage to gate. The
+  /// extra peers consume RNG draws strictly AFTER everything else, so
+  /// worlds with cooperativePeers <= 1 are byte-identical to before the
+  /// knob existed.
+  int cooperativePeers = 1;
+  double peerSpacing = 10.0;
 };
 
 /// Build a world from the config, consuming randomness from `rng`.

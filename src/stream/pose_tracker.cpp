@@ -22,6 +22,8 @@ const char* toString(TrackerOutcome o) {
       return "track_lost";
     case TrackerOutcome::Bootstrapping:
       return "bootstrapping";
+    case TrackerOutcome::Held:
+      return "held";
   }
   return "?";
 }
@@ -62,7 +64,8 @@ std::string TrackerReport::toJson(bool includeTimings) const {
   std::snprintf(
       buf, sizeof buf,
       "{\"frame\":%d,\"outcome\":\"%s\",\"confidence\":%.6f,"
-      "\"remote_received\":%s,\"prediction_available\":%s,"
+      "\"remote_received\":%s,\"scheduler_skipped\":%s,"
+      "\"prediction_available\":%s,"
       "\"prediction\":{\"x\":%.6f,\"y\":%.6f,\"theta\":%.6f},"
       "\"innovation\":{\"translation\":%.6f,\"rotation_deg\":%.6f},"
       "\"gate_rejected\":%s,\"validation_rejected\":%s,"
@@ -72,6 +75,7 @@ std::string TrackerReport::toJson(bool includeTimings) const {
       "\"fast_path_attempted\":%s,\"fast_path_accepted\":%s,",
       frameIndex, toString(outcome), confidence,
       remoteReceived ? "true" : "false",
+      schedulerSkipped ? "true" : "false",
       predictionAvailable ? "true" : "false", prediction.t.x, prediction.t.y,
       prediction.theta, innovationTranslation, innovationRotationDeg,
       gateRejected ? "true" : "false", validationRejected ? "true" : "false",
@@ -118,7 +122,11 @@ void recordTrackerMetrics(const TrackerReport& rep) {
     case TrackerOutcome::Bootstrapping:
       reg->counter("stream.bootstrapping").increment();
       break;
+    case TrackerOutcome::Held:
+      reg->counter("stream.held").increment();
+      break;
   }
+  if (rep.schedulerSkipped) reg->counter("stream.skipped").increment();
   if (rep.gateRejected) reg->counter("stream.gate_rejected").increment();
   if (rep.validationRejected)
     reg->counter("validate.gate_rejected").increment();
@@ -158,6 +166,7 @@ PoseTracker::PoseTracker(PoseTrackerConfig config)
 void PoseTracker::reset() {
   history_.clear();
   misses_ = 0;
+  skips_ = 0;
   lostSinceAccept_ = false;
 }
 
@@ -179,6 +188,7 @@ void PoseTracker::accept(int frame, const Pose2& pose) {
     history_.pop_front();
   }
   misses_ = 0;
+  skips_ = 0;
 }
 
 void PoseTracker::acceptExternalPose(const Pose2& pose) {
@@ -216,6 +226,7 @@ TrackerResult PoseTracker::miss(int frame,
     rep.trackLostThisFrame = true;
     history_.clear();
     misses_ = 0;
+    skips_ = 0;
     lostSinceAccept_ = true;
   } else {
     out.outcome = TrackerOutcome::Extrapolated;
@@ -243,6 +254,40 @@ TrackerResult PoseTracker::coast(TrackerReport* report) {
   return out;
 }
 
+TrackerResult PoseTracker::skipFrame(TrackerReport* report) {
+  BBA_SPAN("tracker-skip");
+  TrackerReport rep;
+  const int frame = frame_++;
+  rep.frameIndex = frame;
+  rep.remoteReceived = false;
+  rep.schedulerSkipped = true;
+  const std::optional<Pose2> prediction = predictAt(frame);
+  ++skips_;
+  TrackerResult out;
+  if (prediction) {
+    rep.predictionAvailable = true;
+    rep.prediction = *prediction;
+    out.poseValid = true;
+    out.pose = *prediction;
+    out.pose3D = Pose3::fromPose2(out.pose);
+    // Staleness decays confidence whether a miss or a skip caused it, but
+    // only misses charge the track-loss budget: the skipped payloads may
+    // have been perfectly good — nobody looked.
+    out.confidence =
+        std::max(cfg_.minConfidence,
+                 std::pow(cfg_.confidenceDecay, misses_ + skips_));
+    out.outcome = TrackerOutcome::Held;
+  } else {
+    out.outcome = TrackerOutcome::Bootstrapping;
+  }
+  rep.outcome = out.outcome;
+  rep.confidence = out.confidence;
+  rep.consecutiveMisses = misses_;
+  recordTrackerMetrics(rep);
+  if (report) *report = rep;
+  return out;
+}
+
 TrackerResult PoseTracker::update(const CarPerceptionData& other,
                                   const CarPerceptionData& ego, Rng& rng,
                                   TrackerReport* report,
@@ -258,7 +303,10 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
   }
 
   // The innovation gate, scaled by how long the track has been coasting.
-  const double gateScale = 1.0 + cfg_.gateGrowthPerMiss * misses_;
+  // Scheduler skips (skipFrame) count toward the growth like misses do —
+  // a long-held track must be able to re-capture a drifted target once
+  // readmitted — they just never charge the track-loss budget.
+  const double gateScale = 1.0 + cfg_.gateGrowthPerMiss * (misses_ + skips_);
   auto withinGate = [&](const Pose2& measurement) {
     if (!prediction) return true;  // bootstrap: nothing to gate against
     const PoseError innov = poseError(measurement, *prediction);

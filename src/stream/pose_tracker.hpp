@@ -18,9 +18,16 @@ enum class TrackerOutcome {
   Extrapolated,      ///< constant-velocity fallback (rung 2)
   TrackLost,         ///< miss budget exhausted this frame; track cleared (rung 3)
   Bootstrapping,     ///< no track yet and no measurement — no pose to report
+  /// Scheduler skip (skipFrame): the caller chose not to spend a recover()
+  /// on this session — spatial pre-gate or load shedding, see
+  /// service/admission.hpp. The pose is extrapolated like rung 2 but the
+  /// skip never counts against the miss budget: an unexamined frame is not
+  /// evidence of a failing track. Appended last so existing outcome
+  /// indices stay pinned.
+  Held,
 };
 
-inline constexpr int kTrackerOutcomeCount = 5;
+inline constexpr int kTrackerOutcomeCount = 6;
 
 [[nodiscard]] const char* toString(TrackerOutcome o);
 
@@ -118,6 +125,9 @@ struct TrackerReport {
   TrackerOutcome outcome = TrackerOutcome::Bootstrapping;
   double confidence = 0.0;
   bool remoteReceived = true;    ///< false for a coasted (dropped) frame
+  /// This frame was a skipFrame() step (outcome Held or Bootstrapping):
+  /// the caller's scheduler withheld the payload, nothing was measured.
+  bool schedulerSkipped = false;
 
   bool predictionAvailable = false;
   Pose2 prediction;
@@ -197,6 +207,17 @@ class PoseTracker {
   /// advances time and walks straight to rung 2 of the ladder.
   TrackerResult coast(TrackerReport* report = nullptr);
 
+  /// Process one frame the CALLER chose not to examine (spatial pre-gate
+  /// skip or load shedding — see service/admission.hpp): advance time and
+  /// hold the track by extrapolation, WITHOUT charging the miss budget.
+  /// Unlike coast(), an arbitrarily long run of skips never declares the
+  /// track lost — the payloads may have been perfectly good; nobody
+  /// looked. Skips still decay confidence and grow the innovation gate
+  /// (like misses) so a long-held track can re-capture a drifted target
+  /// once the scheduler readmits it. Outcome: Held with a track,
+  /// Bootstrapping without one.
+  TrackerResult skipFrame(TrackerReport* report = nullptr);
+
   /// Convenience driver for dataset streams: builds the per-car payloads
   /// with the primary aligner and dispatches to update() or coast().
   TrackerResult processFrame(const StreamFrame& frame, Rng& rng,
@@ -215,6 +236,8 @@ class PoseTracker {
   /// been lost since.
   [[nodiscard]] bool hasTrack() const { return !history_.empty(); }
   [[nodiscard]] int consecutiveMisses() const { return misses_; }
+  /// Consecutive skipFrame() steps since the last accepted measurement.
+  [[nodiscard]] int consecutiveSkips() const { return skips_; }
   [[nodiscard]] int framesProcessed() const { return frame_; }
 
   /// Forget everything (manual re-bootstrap).
@@ -238,6 +261,7 @@ class PoseTracker {
   std::deque<Accepted> history_;
   int frame_ = 0;    ///< frames processed so far (next frame index)
   int misses_ = 0;   ///< consecutive misses
+  int skips_ = 0;    ///< consecutive scheduler skips (never counts as a miss)
   bool lostSinceAccept_ = false;  ///< a track was lost; next lock is a re-bootstrap
 };
 

@@ -193,11 +193,19 @@ std::vector<std::uint8_t> encode(const CooperativeMessage& msg,
 
 namespace {
 
-/// Payload parser (framing already validated). Returns the first error
-/// encountered; on success `msg` is fully populated.
-DecodeError parsePayload(const std::uint8_t* payload, std::size_t size,
-                         CooperativeMessage& msg) {
-  ByteReader r(payload, size);
+/// Quantizers + image flag carried from the payload prefix to the tail
+/// parser.
+struct PayloadPrefix {
+  Quantizer pos;
+  Quantizer yaw;
+  bool hasImage = false;
+};
+
+/// Parse the payload prefix: link metadata, flags, quantizers and the
+/// optional pose-prior claim. Shared verbatim by the full decode and by
+/// peek(), so the two can never disagree on what a claim says.
+DecodeError parsePrefix(ByteReader& r, CooperativeMessage& msg,
+                        PayloadPrefix& prefix) {
   std::uint64_t u = 0;
   std::int64_t s = 0;
 
@@ -215,7 +223,7 @@ DecodeError parsePayload(const std::uint8_t* payload, std::size_t size,
     return DecodeError::ValueOutOfRange;
   msg.hasPosePrior = (flags & kFlagPosePrior) != 0;
   msg.truncated = (flags & kFlagTruncated) != 0;
-  const bool hasImage = (flags & kFlagBvImage) != 0;
+  prefix.hasImage = (flags & kFlagBvImage) != 0;
 
   std::uint64_t posMicro = 0, yawMicro = 0;
   if (!r.varint(posMicro) || !r.varint(yawMicro))
@@ -223,23 +231,37 @@ DecodeError parsePayload(const std::uint8_t* payload, std::size_t size,
   if (posMicro == 0 || posMicro > 100'000'000ull || yawMicro == 0 ||
       yawMicro > 100'000'000ull)
     return DecodeError::ValueOutOfRange;
-  const Quantizer pos = Quantizer::fromMicroUnits(posMicro);
-  const Quantizer yaw = Quantizer::fromMicroUnits(yawMicro);
+  prefix.pos = Quantizer::fromMicroUnits(posMicro);
+  prefix.yaw = Quantizer::fromMicroUnits(yawMicro);
 
   if (msg.hasPosePrior) {
     std::int64_t qx = 0, qy = 0, qt = 0;
     if (!r.svarint(qx) || !r.svarint(qy) || !r.svarint(qt))
       return DecodeError::MalformedPayload;
-    msg.posePrior.t.x = pos.dequantize(qx);
-    msg.posePrior.t.y = pos.dequantize(qy);
-    msg.posePrior.theta = yaw.dequantize(qt);
+    msg.posePrior.t.x = prefix.pos.dequantize(qx);
+    msg.posePrior.t.y = prefix.pos.dequantize(qy);
+    msg.posePrior.theta = prefix.yaw.dequantize(qt);
     if (std::abs(msg.posePrior.t.x) > kMaxAbsPosition ||
         std::abs(msg.posePrior.t.y) > kMaxAbsPosition ||
         std::abs(msg.posePrior.theta) > kMaxAbsYaw)
       return DecodeError::ValueOutOfRange;
   }
+  return DecodeError::None;
+}
 
-  if (hasImage) {
+/// Payload parser (framing already validated). Returns the first error
+/// encountered; on success `msg` is fully populated.
+DecodeError parsePayload(const std::uint8_t* payload, std::size_t size,
+                         CooperativeMessage& msg) {
+  ByteReader r(payload, size);
+  PayloadPrefix prefix;
+  if (const DecodeError err = parsePrefix(r, msg, prefix);
+      err != DecodeError::None)
+    return err;
+  const Quantizer& pos = prefix.pos;
+  const Quantizer& yaw = prefix.yaw;
+
+  if (prefix.hasImage) {
     std::uint64_t w = 0, h = 0, levels = 0, nonzero = 0;
     if (!r.varint(w) || !r.varint(h) || !r.varint(levels) ||
         !r.varint(nonzero))
@@ -334,6 +356,32 @@ DecodeResult decode(const std::uint8_t* data, std::size_t size) {
 
 DecodeResult decode(const std::vector<std::uint8_t>& bytes) {
   return decode(bytes.data(), bytes.size());
+}
+
+MessagePeek peek(const std::uint8_t* data, std::size_t size) {
+  MessagePeek out;
+  FrameView view;
+  out.error = unframe(data, size, kMagic, kVersion, view);
+  if (out.error == DecodeError::None) {
+    ByteReader r(view.payload, view.payloadSize);
+    CooperativeMessage msg;
+    PayloadPrefix prefix;
+    out.error = parsePrefix(r, msg, prefix);
+    if (out.error == DecodeError::None) {
+      out.senderId = msg.senderId;
+      out.frameIndex = msg.frameIndex;
+      out.captureTimeMicros = msg.captureTimeMicros;
+      out.hasPosePrior = msg.hasPosePrior;
+      out.posePrior = msg.posePrior;
+    }
+  }
+  if (out.error != DecodeError::None) out = MessagePeek{out.error};
+  BBA_COUNTER_ADD("wire.peeks", 1);
+  return out;
+}
+
+MessagePeek peek(const std::vector<std::uint8_t>& bytes) {
+  return peek(bytes.data(), bytes.size());
 }
 
 }  // namespace bba::wire

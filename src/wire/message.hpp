@@ -97,4 +97,27 @@ struct DecodeResult {
                                   std::size_t size);
 [[nodiscard]] DecodeResult decode(const std::vector<std::uint8_t>& bytes);
 
+/// Cheap prefix view of one frame: link metadata plus the optional
+/// pose-prior claim. The payload is laid out claim-first precisely so an
+/// admission stage (CooperationService's spatial pre-gate) can read the
+/// claim without decoding — or allocating — the BV image and boxes that
+/// dominate the payload. `valid` requires intact framing (magic, version,
+/// length, CRC) and a well-formed prefix; the BV/box tail is NOT
+/// validated here, so the full decode() stays authoritative for accepted
+/// messages.
+struct MessagePeek {
+  DecodeError error = DecodeError::BufferTooSmall;
+  /// Prefix fields (meaningful only when error == DecodeError::None).
+  std::uint64_t senderId = 0;
+  std::uint32_t frameIndex = 0;
+  std::int64_t captureTimeMicros = 0;
+  bool hasPosePrior = false;
+  Pose2 posePrior;
+};
+
+/// Peek one frame's prefix. Same safety contract as decode(): never
+/// throws, never reads out of bounds (fuzzed in tests/wire_test.cpp).
+[[nodiscard]] MessagePeek peek(const std::uint8_t* data, std::size_t size);
+[[nodiscard]] MessagePeek peek(const std::vector<std::uint8_t>& bytes);
+
 }  // namespace bba::wire

@@ -386,6 +386,65 @@ TEST(SequenceGenerator, DroppedFrameDeliversNothing) {
   EXPECT_TRUE(gen.frame(2).remoteReceived);
 }
 
+TEST(SequenceGenerator, PeerZeroIsTheUnfaultedRemote) {
+  SequenceConfig sc;
+  sc.seed = 7;
+  sc.frames = 3;
+  sc.scenario.separation = 30.0;
+  const SequenceGenerator gen(sc);
+  ASSERT_EQ(gen.peerCount(), 1);
+  const StreamFrame f = gen.frame(2);
+  const PeerObservation obs = gen.peerObservation(2, 0);
+  // Peer index 0 is the classic "other" car: same sensing stream, so with
+  // no faults configured the payloads are byte-identical.
+  EXPECT_EQ(obs.vehicleId, gen.world().otherVehicleId);
+  EXPECT_TRUE(sameCloud(obs.cloud, f.otherCloud));
+  ASSERT_EQ(obs.dets.size(), f.otherDets.size());
+  EXPECT_EQ(obs.gtPeerToEgo.t.x, f.gtOtherToEgo.t.x);
+  EXPECT_EQ(obs.gtPeerToEgo.t.y, f.gtOtherToEgo.t.y);
+  EXPECT_EQ(obs.gtPeerToEgo.theta, f.gtOtherToEgo.theta);
+  // gtPeerToEgoAt(0, ...) and gtOtherToEgoAt agree by construction.
+  const Pose2 a = gen.gtPeerToEgoAt(0, 0.2, 0.1);
+  const Pose2 b = gen.gtOtherToEgoAt(0.2, 0.1);
+  EXPECT_EQ(a.t.x, b.t.x);
+  EXPECT_EQ(a.theta, b.theta);
+}
+
+TEST(SequenceGenerator, ExtraPeersDrawAfterEverythingElse) {
+  SequenceConfig base;
+  base.seed = 7;
+  base.frames = 1;
+  base.scenario.separation = 30.0;
+  SequenceConfig fleet = base;
+  fleet.scenario.cooperativePeers = 4;
+  const SequenceGenerator genBase(base), genFleet(fleet);
+  const World& wb = genBase.world();
+  const World& wf = genFleet.world();
+  // Extra peers append; every pre-existing vehicle is bitwise untouched
+  // (the fleet knob consumes RNG draws strictly after all other draws).
+  ASSERT_EQ(wf.vehicles.size(), wb.vehicles.size() + 3);
+  for (std::size_t i = 0; i < wb.vehicles.size(); ++i) {
+    EXPECT_EQ(wf.vehicles[i].id, wb.vehicles[i].id);
+    EXPECT_EQ(wf.vehicles[i].size.x, wb.vehicles[i].size.x);
+    const Pose2 pa = wb.vehicles[i].trajectory.pose(0.5);
+    const Pose2 pb = wf.vehicles[i].trajectory.pose(0.5);
+    EXPECT_EQ(pa.t.x, pb.t.x);
+    EXPECT_EQ(pa.t.y, pb.t.y);
+    EXPECT_EQ(pa.theta, pb.theta);
+  }
+  ASSERT_EQ(wb.peerVehicleIds.size(), 1u);
+  EXPECT_EQ(wb.peerVehicleIds[0], wb.otherVehicleId);
+  ASSERT_EQ(wf.peerVehicleIds.size(), 4u);
+  EXPECT_EQ(wf.peerVehicleIds[0], wf.otherVehicleId);
+  ASSERT_EQ(genFleet.peerCount(), 4);
+  // Each extra peer is a real vehicle with a sensing stream of its own.
+  const PeerObservation p1 = genFleet.peerObservation(0, 1);
+  const PeerObservation p2 = genFleet.peerObservation(0, 2);
+  EXPECT_NE(p1.vehicleId, p2.vehicleId);
+  EXPECT_FALSE(p1.cloud.empty());
+  EXPECT_FALSE(sameCloud(p1.cloud, p2.cloud));
+}
+
 // ---- tracker building blocks ---------------------------------------------
 
 TEST(ExtrapolatePose, ConstantVelocityCarriesForward) {
@@ -481,6 +540,63 @@ TEST(PoseTracker, ExtrapolationFollowsConstantVelocity) {
   EXPECT_NEAR(r.pose.t.y, 0.2, 1e-9);
 }
 
+TEST(PoseTracker, SkipFrameHoldsTheTrackWithoutChargingMisses) {
+  PoseTrackerConfig cfg;
+  cfg.maxConsecutiveMisses = 2;
+  PoseTracker tracker(cfg);
+  tracker.acceptExternalPose(Pose2{Vec2{10.0, 0.0}, 0.0});
+  tracker.acceptExternalPose(Pose2{Vec2{10.5, 0.0}, 0.0});
+  ASSERT_TRUE(tracker.hasTrack());
+
+  // Far more scheduler skips than the miss budget: the track must survive
+  // every one of them — a shed frame is the scheduler's choice, not
+  // evidence the peer is gone.
+  TrackerReport rep;
+  TrackerResult r;
+  double prevConfidence = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    r = tracker.skipFrame(&rep);
+    EXPECT_EQ(r.outcome, TrackerOutcome::Held) << "skip " << i;
+    EXPECT_TRUE(r.poseValid);
+    EXPECT_TRUE(rep.schedulerSkipped);
+    EXPECT_FALSE(rep.remoteReceived);
+    EXPECT_EQ(tracker.consecutiveMisses(), 0);
+    EXPECT_EQ(tracker.consecutiveSkips(), i + 1);
+    // Confidence still decays: a held pose is not a fresh lock.
+    EXPECT_LE(r.confidence, prevConfidence);
+    prevConfidence = r.confidence;
+  }
+  EXPECT_TRUE(tracker.hasTrack());
+  EXPECT_GE(r.confidence, cfg.minConfidence);
+}
+
+TEST(PoseTracker, SkipFrameWithoutTrackStaysBootstrapping) {
+  PoseTracker tracker;
+  TrackerReport rep;
+  const TrackerResult r = tracker.skipFrame(&rep);
+  EXPECT_EQ(r.outcome, TrackerOutcome::Bootstrapping);
+  EXPECT_FALSE(r.poseValid);
+  EXPECT_TRUE(rep.schedulerSkipped);
+  EXPECT_FALSE(rep.predictionAvailable);
+}
+
+TEST(PoseTracker, MissesAndSkipsShareTheConfidenceLadder) {
+  PoseTrackerConfig cfg;
+  PoseTracker tracker(cfg);
+  tracker.acceptExternalPose(Pose2{Vec2{10.0, 0.0}, 0.0});
+  tracker.acceptExternalPose(Pose2{Vec2{10.5, 0.0}, 0.0});
+
+  const TrackerResult coasted = tracker.coast();
+  EXPECT_NEAR(coasted.confidence, cfg.confidenceDecay, 1e-12);
+  const TrackerResult held = tracker.skipFrame();
+  // One miss + one skip: two rungs down the same geometric ladder...
+  EXPECT_NEAR(held.confidence, cfg.confidenceDecay * cfg.confidenceDecay,
+              1e-12);
+  // ...but only the miss counted against the miss budget.
+  EXPECT_EQ(tracker.consecutiveMisses(), 1);
+  EXPECT_EQ(tracker.consecutiveSkips(), 1);
+}
+
 TEST(TrackerReport, JsonIsBalancedAndCarriesTheLadderFields) {
   PoseTrackerConfig cfg;
   cfg.maxConsecutiveMisses = 1;
@@ -498,6 +614,7 @@ TEST(TrackerReport, JsonIsBalancedAndCarriesTheLadderFields) {
   EXPECT_EQ(depth, 0);
   EXPECT_NE(json.find("\"outcome\":\"track_lost\""), std::string::npos);
   EXPECT_NE(json.find("\"remote_received\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler_skipped\":false"), std::string::npos);
   EXPECT_NE(json.find("\"recovery\":null"), std::string::npos);
   EXPECT_NE(json.find("\"relaxedRecovery\":null"), std::string::npos);
   EXPECT_NE(json.find("\"consecutive_misses\":1"), std::string::npos);

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare a fresh perf_micro run against the
+committed per-stage baseline (bench/baseline.json).
+
+Usage:
+    check_bench.py raw_benchmark.json [--baseline bench/baseline.json]
+                   [--tolerance X]
+    check_bench.py --self-test
+
+For every stage pinned in the baseline, the gate takes the median of the
+run's serial (threads:1) real_time samples (repetitions collapse into one
+median) and fails — exit 1, loud table — when median > tolerance x
+baseline. The tolerance is deliberately generous (default from the
+baseline file, 2.5x): CI hosts are noisy shared vCPUs, and the gate exists
+to catch accidental order-of-magnitude regressions (a debug build sneaking
+in, an O(n^2) slip), not 10% drift. Stages present in the run but not in
+the baseline are listed as untracked, never failed, so adding a benchmark
+does not require touching the gate. A baseline stage MISSING from the run
+fails: a silently shrunk bench suite must not pass as green.
+
+The stage table goes to stdout and, when $GITHUB_STEP_SUMMARY is set, is
+appended there as a markdown table.
+
+--self-test doctors a synthetic run with one 3x-regressed stage and exits
+0 only if the gate (a) fails the doctored run and (b) passes the clean one
+— the gate gates itself before gating the build.
+"""
+import argparse
+import json
+import os
+import statistics
+import sys
+
+from distill_bench import parse_bench_name, stage_key
+
+
+def collect_serial_medians(raw):
+    """stage -> median serial (threads:1) real_time in ns."""
+    samples = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name, threads = parse_bench_name(bench["name"])
+        if name is None or threads != 1:
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        samples.setdefault(stage_key(name), []).append(
+            bench["real_time"] * scale
+        )
+    return {stage: statistics.median(v) for stage, v in samples.items()}
+
+
+def check(raw, baseline, tolerance=None):
+    """Returns (ok, rows): rows are (stage, baseline_ns, median_ns, ratio,
+    status) with status in {ok, REGRESSED, MISSING, untracked}."""
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", 2.5))
+    medians = collect_serial_medians(raw)
+    rows = []
+    ok = True
+    for stage, base_ns in sorted(baseline["stages"].items()):
+        med = medians.get(stage)
+        if med is None:
+            rows.append((stage, base_ns, None, None, "MISSING"))
+            ok = False
+            continue
+        ratio = med / base_ns
+        status = "ok" if ratio <= tolerance else "REGRESSED"
+        if status == "REGRESSED":
+            ok = False
+        rows.append((stage, base_ns, med, ratio, status))
+    for stage in sorted(set(medians) - set(baseline["stages"])):
+        rows.append((stage, None, medians[stage], None, "untracked"))
+    return ok, rows, tolerance
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:.2f}" if ns is not None else "-"
+
+
+def render(rows, tolerance, markdown=False):
+    header = ("stage", "baseline_ms", "median_ms", "ratio", "status")
+    table = [header]
+    for stage, base_ns, med_ns, ratio, status in rows:
+        table.append((
+            stage,
+            fmt_ms(base_ns),
+            fmt_ms(med_ns),
+            f"{ratio:.2f}x" if ratio is not None else "-",
+            status,
+        ))
+    lines = [f"perf gate: tolerance {tolerance}x vs committed baseline"]
+    if markdown:
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for row in table[1:]:
+            lines.append("| " + " | ".join(row) + " |")
+    else:
+        widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+        for row in table:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def run_gate(raw_path, baseline_path, tolerance):
+    with open(raw_path) as f:
+        raw = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    ok, rows, tol = check(raw, baseline, tolerance)
+    print(render(rows, tol))
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("### Perf gate\n\n" + render(rows, tol, markdown=True))
+            f.write("\n\n" + ("PASS\n" if ok else "**FAIL**\n"))
+    if not ok:
+        bad = [r[0] for r in rows if r[4] in ("REGRESSED", "MISSING")]
+        print(f"PERF GATE FAILED: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+def synthetic_run(regress_stage=None, factor=1.0):
+    """A fake google-benchmark JSON over the baseline stages, at 1.2x the
+    baseline (ordinary noise), with one stage optionally doctored."""
+    benches = []
+    # Inverse of STAGE_NAMES is not needed: bare BM_ names distill through
+    # stage_key(), so synthesize names that map onto the baseline keys.
+    name_of = {
+        "fft2d_256": "BM_Fft2d256",
+        "bv_rasterization": "BM_BvImage",
+        "mim": "BM_MimComputation",
+        "descriptors": "BM_DescribeBvImage",
+        "ransac": "BM_RansacRigid2D",
+        "recover_pose_end_to_end": "BM_RecoverPose",
+        "service_frame_1peer": "BM_ServiceProcessFrame/peers:1",
+        "service_frame_2peers": "BM_ServiceProcessFrame/peers:2",
+        "service_frame_4peers": "BM_ServiceProcessFrame/peers:4",
+    }
+    with open(default_baseline_path()) as f:
+        baseline = json.load(f)
+    for stage, base_ns in baseline["stages"].items():
+        ns = base_ns * (factor if stage == regress_stage else 1.2)
+        benches.append({
+            "name": f"{name_of[stage]}/threads:1",
+            "run_type": "iteration",
+            "time_unit": "ns",
+            "real_time": ns,
+            "cpu_time": ns,
+        })
+    return {"benchmarks": benches}, baseline
+
+
+def default_baseline_path():
+    return os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "bench",
+        "baseline.json"
+    )
+
+
+def self_test():
+    clean, baseline = synthetic_run()
+    ok, _, _ = check(clean, baseline)
+    if not ok:
+        print("self-test FAILED: clean 1.2x run did not pass", file=sys.stderr)
+        return 1
+    doctored, _ = synthetic_run(regress_stage="mim", factor=3.0)
+    ok, rows, tol = check(doctored, baseline)
+    if ok:
+        print("self-test FAILED: 3x-regressed mim passed the gate",
+              file=sys.stderr)
+        return 1
+    bad = {r[0] for r in rows if r[4] == "REGRESSED"}
+    if bad != {"mim"}:
+        print(f"self-test FAILED: expected only mim to regress, got {bad}",
+              file=sys.stderr)
+        return 1
+    missing_run = {
+        "benchmarks": [
+            b for b in doctored["benchmarks"] if "Mim" not in b["name"]
+        ]
+    }
+    ok, rows, _ = check(missing_run, baseline)
+    if ok or not any(r[4] == "MISSING" for r in rows):
+        print("self-test FAILED: dropped stage not flagged MISSING",
+              file=sys.stderr)
+        return 1
+    print(f"self-test passed (tolerance {tol}x; 3x regression + dropped "
+          "stage both rejected, 1.2x noise accepted)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("raw", nargs="?", help="raw google-benchmark JSON")
+    parser.add_argument("--baseline", default=default_baseline_path())
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline file's tolerance")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.raw:
+        parser.error("raw benchmark JSON required (or --self-test)")
+    return run_gate(args.raw, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -168,6 +168,21 @@ def fastpath_metric_names() -> list:
     return sorted(names)
 
 
+def tracker_outcome_strings() -> list:
+    """String forms of the TrackerOutcome ladder rungs (from toString)."""
+    source = (REPO / "src" / "stream" / "pose_tracker.cpp").read_text(
+        encoding="utf-8")
+    m = re.search(r"toString\(TrackerOutcome\b.*?\n\}", source, re.S)
+    if not m:
+        sys.exit("check_docs: cannot find TrackerOutcome toString in "
+                 "pose_tracker.cpp")
+    rungs = re.findall(r"case TrackerOutcome::\w+:\s*return \"(\w+)\";",
+                       m.group(0))
+    if not rungs:
+        sys.exit("check_docs: no TrackerOutcome strings parsed")
+    return rungs
+
+
 def peer_health_states() -> list:
     """String forms of the PeerHealth FSM states (from toString)."""
     source = (REPO / "src" / "service" / "peer_health.cpp").read_text(
@@ -215,6 +230,11 @@ def main() -> int:
             errors.append(
                 f"PeerHealth state '{name}' is undocumented "
                 f"(not found in any checked document)")
+    for name in tracker_outcome_strings():
+        if name not in corpus:
+            errors.append(
+                f"TrackerOutcome rung '{name}' is undocumented "
+                f"(not found in any checked document)")
 
     if errors:
         print("docs-health: FAILED")
@@ -229,6 +249,7 @@ def main() -> int:
           f"{len(recovery_failure_enumerators())} failure values, "
           f"{len(decode_error_enumerators())} decode-error values, "
           f"{len(peer_health_states())} health states, "
+          f"{len(tracker_outcome_strings())} tracker rungs, "
           f"{metric_count} metrics)")
     return 0
 

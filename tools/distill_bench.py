@@ -33,6 +33,56 @@ STAGE_NAMES = {
     "BM_ServiceProcessFrame/peers:4": "service_frame_4peers",
 }
 
+# Standard google-benchmark JSON keys; anything else numeric on a benchmark
+# entry is a user counter (state.counters) and is carried into the stage.
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "label", "error_occurred", "error_message",
+}
+
+
+def parse_bench_name(raw_name):
+    """Split "BM_Name/arg:v/.../threads:T[/iterations:N][/manual_time]" into
+    (canonical sweep name, threads). Every "key:value" segment except
+    threads/iterations folds into the sweep name in order, so arbitrary
+    multi-parameter sweeps survive distillation; bare suffix flags
+    (manual_time, real_time, process_time) are dropped. Returns
+    (None, None) for names that do not look like a sweep entry."""
+    parts = raw_name.split("/")
+    base = parts[0]
+    if not re.match(r"^BM_\w+$", base):
+        return None, None
+    sweep = []
+    threads = None
+    for part in parts[1:]:
+        m = re.match(r"^(\w+):(-?[\w.]+)$", part)
+        if m:
+            key, value = m.group(1), m.group(2)
+            if key == "threads":
+                threads = int(value)
+            elif key != "iterations":
+                sweep.append(f"{key}:{value}")
+        # else: bare flag (manual_time / real_time / ...) — drop.
+    name = base if not sweep else base + "/" + "/".join(sweep)
+    return name, threads if threads is not None else 1
+
+
+def stage_key(bench_name):
+    """Human-stable stage key: the STAGE_NAMES entry when pinned, otherwise
+    snake_case of the benchmark name with sweep args appended
+    ("BM_FleetFrame/peers:4/budget:0" -> "fleet_frame_peers4_budget0")."""
+    if bench_name in STAGE_NAMES:
+        return STAGE_NAMES[bench_name]
+    parts = bench_name.split("/")
+    base = re.sub(r"^BM_", "", parts[0])
+    base = re.sub(r"(?<!^)(?=[A-Z0-9](?![A-Z0-9]))", "_", base).lower()
+    base = re.sub(r"__+", "_", base)
+    for part in parts[1:]:
+        base += "_" + part.replace(":", "")
+    return base
+
 
 def distill_metrics(metrics_path):
     """Counters verbatim; histograms as count/mean/min/max (buckets dropped)."""
@@ -60,26 +110,32 @@ def main() -> int:
     with open(raw_path) as f:
         raw = json.load(f)
 
-    # name -> {threads: real_time_ns}; multi-peer service benches
-    # ("BM_Name/peers:P/threads:T") fold the peer count into the stage key
-    # so the peer-scaling curve survives distillation.
+    # name -> {threads: real_time_ns}. Sweep parameters other than the
+    # thread count ("BM_Name/peers:P/budget:B/threads:T") fold into the
+    # stage key, so arbitrary multi-parameter scaling curves survive
+    # distillation. User counters (state.counters) ride along per stage.
     timings = {}
+    counters = {}
     for bench in raw.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        m = re.match(r"^(BM_\w+)(?:/peers:(\d+))?/threads:(\d+)$", bench["name"])
-        if not m:
+        name, threads = parse_bench_name(bench["name"])
+        if name is None:
             continue
-        name, peers, threads = m.group(1), m.group(2), int(m.group(3))
-        if peers is not None:
-            name = f"{name}/peers:{peers}"
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
         timings.setdefault(name, {})[threads] = bench["real_time"] * scale
+        user = {
+            k: v
+            for k, v in bench.items()
+            if k not in _STANDARD_KEYS and isinstance(v, (int, float))
+        }
+        if user and threads == min(timings[name]):
+            counters[name] = user
 
     stages = {}
     for bench_name, per_threads in sorted(timings.items()):
-        stage = STAGE_NAMES.get(bench_name, bench_name)
+        stage = stage_key(bench_name)
         serial = per_threads.get(1)
         threaded_n = max(per_threads)
         threaded = per_threads[threaded_n]
@@ -90,6 +146,10 @@ def main() -> int:
         }
         if serial:
             entry["speedup"] = round(serial / threaded, 3)
+        if bench_name in counters:
+            entry["counters"] = {
+                k: round(v, 4) for k, v in sorted(counters[bench_name].items())
+            }
         stages[stage] = entry
 
     context = raw.get("context", {})
@@ -100,8 +160,14 @@ def main() -> int:
         "library_build_type"
     )
     host_cpus = context.get("bba_host_cpus")
+    executable = context.get("executable", "")
+    bench_id = (
+        "bench/" + os.path.basename(executable)
+        if executable
+        else "bench/perf_micro"
+    )
     out = {
-        "benchmark": "bench/perf_micro",
+        "benchmark": bench_id,
         "library_build_type": build_type,
         "host_cpus": int(host_cpus) if host_cpus else os.cpu_count(),
         "context": {

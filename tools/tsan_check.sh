@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Build with ThreadSanitizer (-DBBA_SANITIZE=thread) and run the test
-# binaries that exercise the parallel runtime, to catch data races in the
-# work-sharing engine and the parallelized BV-matching stages.
+# Build with ThreadSanitizer (-DBBA_SANITIZE=thread) and run every test
+# labeled "tsan" — the cheap suites that exercise the parallel runtime —
+# to catch data races in the work-sharing engine and the parallelized
+# BV-matching stages. The label set lives in tests/CMakeLists.txt, so new
+# concurrency tests join this leg by labeling, not by editing this script.
 #
 # Usage: tools/tsan_check.sh [build_dir]
 set -euo pipefail
@@ -11,7 +13,8 @@ BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DBBA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_test service_test health_test simd_test -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test \
+  stream_test service_test health_test simd_test admission_test -j"$(nproc)"
 
 # Force the pool on even when the host reports a single CPU: TSan finds
 # races through happens-before analysis, not timing, so timesliced worker
@@ -19,29 +22,5 @@ cmake --build "$BUILD_DIR" --target parallel_test features_test obs_test stream_
 export BBA_THREADS="${BBA_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 
-"$BUILD_DIR/tests/parallel_test"
-"$BUILD_DIR/tests/features_test"
-"$BUILD_DIR/tests/obs_test"
-# SIMD kernels run inside parallelFor chunks, and the bank / ego-feature
-# caches are shared mutable state behind mutexes: the identity suite
-# drives both under the pool. The heavyweight end-to-end identity test is
-# skipped (its code paths are covered by the cheap kernel-level ones).
-"$BUILD_DIR/tests/simd_test" \
-  --gtest_filter='-SimdIdentity.EndToEndRecoverByteIdenticalAcrossLevels'
-# The tracker drives recover() through the pool too; the heavyweight
-# pinned-scenario suites are skipped under TSan (they re-cover the same
-# code paths many times over — a race would already show here).
-"$BUILD_DIR/tests/stream_test" \
-  --gtest_filter='FaultInjector.*:SequenceGenerator.*:PoseTracker.*:PoseTrackerStream.TrackLossThenRebootstrap'
-# The cooperation service fans sessions out across the pool; the decode-only
-# suite drives that concurrency (incl. the 1-vs-8-thread report check)
-# without the heavyweight recover() pipeline scenarios.
-"$BUILD_DIR/tests/service_test" --gtest_filter='ServiceDecode.*'
-# Peer-health FSM, replay guard and quarantine exclusion all run inside
-# the parallel session region; the cheap suites drive every path. One
-# pinned adversarial-scenario test covers the consistency vote + real
-# recover() under the pool (the remaining scenario tests replay the same
-# code paths and are skipped as heavyweight).
-"$BUILD_DIR/tests/health_test" \
-  --gtest_filter='PeerHealthFsm.*:ReplayGuard.*:ServiceHealth.*:AdversarialScenario.SpooferIsOutvotedAndQuarantinedWithinTwoFrames'
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure
 echo "tsan_check: no data races detected"
