@@ -12,7 +12,8 @@ file(GLOB BBA_FIG_BENCHES CONFIGURE_DEPENDS
      "${BBA_BENCH_DIR}/ablation*.cpp"
      "${BBA_BENCH_DIR}/stream*.cpp"
      "${BBA_BENCH_DIR}/bandwidth*.cpp"
-     "${BBA_BENCH_DIR}/adversarial*.cpp")
+     "${BBA_BENCH_DIR}/adversarial*.cpp"
+     "${BBA_BENCH_DIR}/scenario*.cpp")
 foreach(bench_src ${BBA_FIG_BENCHES})
   get_filename_component(bench_name ${bench_src} NAME_WE)
   add_executable(${bench_name} ${bench_src} ${BBA_BENCH_DIR}/bench_common.cpp)

@@ -18,6 +18,18 @@ Rng sensingRng(std::uint64_t seed, int frameIndex, std::uint64_t role) {
 
 }  // namespace
 
+const LidarConfig& SequenceGenerator::peerLidar(int peerIdx) const {
+  const auto idx = static_cast<std::size_t>(peerIdx);
+  return idx < cfg_.peerProfiles.size() ? cfg_.peerProfiles[idx].sensor
+                                        : cfg_.otherLidar;
+}
+
+const WeatherConfig& SequenceGenerator::peerWeather(int peerIdx) const {
+  const auto idx = static_cast<std::size_t>(peerIdx);
+  return idx < cfg_.peerProfiles.size() ? cfg_.peerProfiles[idx].weather
+                                        : cfg_.otherWeather;
+}
+
 SequenceGenerator::SequenceGenerator(SequenceConfig config)
     : cfg_(config), injector_(config.faults) {
   BBA_ASSERT(cfg_.frames >= 1);
@@ -46,6 +58,7 @@ StreamFrame SequenceGenerator::frame(int k) const {
     Rng rng = sensingRng(cfg_.seed, k, 0);
     f.egoCloud = scanVehicle(world_, world_.egoVehicleId, cfg_.egoLidar,
                              f.time, rng, scanOpt);
+    applyWeather(f.egoCloud, k, cfg_.egoWeather);
   }
   {
     Rng rng = sensingRng(cfg_.seed, k, 1);
@@ -68,17 +81,23 @@ StreamFrame SequenceGenerator::frame(int k) const {
   const int sourceFrame = k - faults.lagFrames;
   const double tRemote =
       sourceFrame * cfg_.framePeriod + faults.clockSkew;
+  // Peer 0's condition profile (when set) governs the classic remote side,
+  // so peerObservation(k, 0) stays byte-identical to an unfaulted payload.
+  const LidarConfig& remoteLidar = peerLidar(0);
   {
     Rng rng = sensingRng(cfg_.seed, sourceFrame, 2);
     f.otherCloud = scanVehicle(world_, world_.otherVehicleId,
-                               cfg_.otherLidar, tRemote, rng, scanOpt);
+                               remoteLidar, tRemote, rng, scanOpt);
   }
   {
     Rng rng = sensingRng(cfg_.seed, sourceFrame, 3);
     f.otherDets = simulateDetections(world_, world_.otherVehicleId,
-                                     cfg_.otherLidar, tRemote, cfg_.detector,
+                                     remoteLidar, tRemote, cfg_.detector,
                                      rng, cfg_.motionDistortion);
   }
+  // Weather keyed by the SOURCE frame: a stale payload is byte-identical
+  // to what its source frame would have transmitted.
+  applyWeather(f.otherCloud, sourceFrame, peerWeather(0));
   injector_.applyCloudFaults(f.otherCloud, faults);
   injector_.applyBoxFaults(f.otherDets, k);
   f.gtDeliveredOtherToEgo = gtOtherToEgoAt(f.time, tRemote);
@@ -107,17 +126,19 @@ PeerObservation SequenceGenerator::peerObservation(int k, int peerIdx) const {
   PeerObservation obs;
   obs.vehicleId = vehicleId;
   // Roles 2+2p / 3+2p: peer 0 reuses the legacy remote roles (2/3), so an
-  // unfaulted frame(k) remote payload and peerObservation(k, 0) coincide.
+  // unfaulted frame(k) remote payload and peerObservation(k, 0) coincide —
+  // including the per-peer sensor and weather profile.
+  const LidarConfig& lidar = peerLidar(peerIdx);
   {
     Rng rng = sensingRng(cfg_.seed, k,
                          2 + 2 * static_cast<std::uint64_t>(peerIdx));
-    obs.cloud = scanVehicle(world_, vehicleId, cfg_.otherLidar, t, rng,
-                            scanOpt);
+    obs.cloud = scanVehicle(world_, vehicleId, lidar, t, rng, scanOpt);
+    applyWeather(obs.cloud, k, peerWeather(peerIdx));
   }
   {
     Rng rng = sensingRng(cfg_.seed, k,
                          3 + 2 * static_cast<std::uint64_t>(peerIdx));
-    obs.dets = simulateDetections(world_, vehicleId, cfg_.otherLidar, t,
+    obs.dets = simulateDetections(world_, vehicleId, lidar, t,
                                   cfg_.detector, rng, cfg_.motionDistortion);
   }
   obs.gtPeerToEgo = gtPeerToEgoAt(peerIdx, t, t);

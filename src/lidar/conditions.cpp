@@ -1,0 +1,164 @@
+#include "lidar/conditions.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace bba {
+
+namespace {
+
+/// Per-(seed, frame, channel) stream salt — the FaultInjector scheme, so
+/// the dropout channel and the noise channel of one frame are independent
+/// and enabling one never re-randomizes the other.
+std::uint64_t channelSalt(std::uint64_t seed, int frameIndex,
+                          std::uint64_t channel) {
+  return seed ^
+         (static_cast<std::uint64_t>(frameIndex) * 0x9E3779B97F4A7C15ULL) ^
+         (channel * 0xC2B2AE3D27D4EB4FULL);
+}
+
+constexpr std::uint64_t kChannelDropout = 1;
+constexpr std::uint64_t kChannelNoise = 2;
+
+/// Uniform double in [0, 1) from one CounterRng draw.
+double u01(CounterRng& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+/// Standard normal via Box–Muller (two draws from the point's own stream).
+double standardNormal(CounterRng& rng) {
+  const double u1 = std::max(u01(rng), 0x1.0p-53);  // avoid log(0)
+  const double u2 = u01(rng);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+bool WeatherConfig::active() const {
+  return attenuationPerMeter > 0.0 || dropoutAtRampRange > 0.0 ||
+         rangeNoiseSigma > 0.0;
+}
+
+void applyWeather(PointCloud& cloud, int frameIndex,
+                  const WeatherConfig& cfg) {
+  if (!cfg.active()) return;
+  BBA_ASSERT(cfg.dropoutRampRange > 0.0);
+  const std::uint64_t dropSalt =
+      channelSalt(cfg.seed, frameIndex, kChannelDropout);
+  const std::uint64_t noiseSalt =
+      channelSalt(cfg.seed, frameIndex, kChannelNoise);
+
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < cloud.points.size(); ++i) {
+    LidarPoint lp = cloud.points[i];
+    const double range = lp.p.norm();
+    // Survival: Beer–Lambert extinction over the out-and-back path, times
+    // the complementary linear far-dropout ramp. Each point's draw is
+    // keyed by its ORIGINAL index, so the realization is independent of
+    // how many earlier points survived.
+    double keep = std::exp(-2.0 * cfg.attenuationPerMeter * range);
+    if (cfg.dropoutAtRampRange > 0.0) {
+      const double ramp = std::min(range / cfg.dropoutRampRange, 1.0);
+      keep *= 1.0 - cfg.dropoutAtRampRange * ramp;
+    }
+    CounterRng drop(dropSalt, i);
+    if (u01(drop) >= keep) continue;
+    if (cfg.rangeNoiseSigma > 0.0 && range > 1e-9) {
+      // Jitter along the return ray, keyed by the same original index on
+      // the independent noise channel.
+      CounterRng noise(noiseSalt, i);
+      const double dr = cfg.rangeNoiseSigma * standardNormal(noise);
+      const double scale = std::max(range + dr, 0.0) / range;
+      lp.p = lp.p * scale;
+    }
+    cloud.points[write++] = lp;
+  }
+  cloud.points.resize(write);
+}
+
+const char* toString(Weather w) {
+  switch (w) {
+    case Weather::Clear:
+      return "clear";
+    case Weather::Rain:
+      return "rain";
+    case Weather::Fog:
+      return "fog";
+  }
+  return "unknown";
+}
+
+WeatherConfig weatherPreset(Weather w) {
+  WeatherConfig c;
+  switch (w) {
+    case Weather::Clear:
+      break;
+    case Weather::Rain:
+      // Moderate rain: ~45% of returns survive the round trip at 100 m,
+      // mild extra far dropout, 3 cm backscatter jitter.
+      c.attenuationPerMeter = 0.004;
+      c.dropoutAtRampRange = 0.15;
+      c.rangeNoiseSigma = 0.03;
+      break;
+    case Weather::Fog:
+      // Dense fog: ~9% survival at 100 m — the usable range collapses —
+      // plus heavy far dropout and 5 cm jitter.
+      c.attenuationPerMeter = 0.012;
+      c.dropoutAtRampRange = 0.35;
+      c.dropoutRampRange = 80.0;
+      c.rangeNoiseSigma = 0.05;
+      break;
+  }
+  return c;
+}
+
+LidarProfile makeLidarProfile(int beams, Weather w) {
+  BBA_ASSERT(beams == 16 || beams == 32 || beams == 64);
+  LidarProfile p;
+  p.sensor = beams == 16   ? LidarConfig::vlp16()
+             : beams == 64 ? LidarConfig::hdl64()
+                           : LidarConfig::hdl32();
+  p.weather = weatherPreset(w);
+  p.name = std::string(toString(w)) + "-" + std::to_string(beams);
+  return p;
+}
+
+std::array<const char*, kLidarProfileCount> allLidarProfileNames() {
+  // Weather-major, beams 16/32/64 within — the registry order of the
+  // scenario-matrix sweeps and the docs-health grep gate.
+  return {"clear-16", "clear-32", "clear-64", "rain-16", "rain-32",
+          "rain-64",  "fog-16",   "fog-32",   "fog-64"};
+}
+
+std::optional<LidarProfile> lidarProfileFromString(std::string_view name) {
+  const std::size_t dash = name.rfind('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  const std::string_view weatherPart = name.substr(0, dash);
+  const std::string_view beamsPart = name.substr(dash + 1);
+  Weather w;
+  if (weatherPart == "clear") {
+    w = Weather::Clear;
+  } else if (weatherPart == "rain") {
+    w = Weather::Rain;
+  } else if (weatherPart == "fog") {
+    w = Weather::Fog;
+  } else {
+    return std::nullopt;
+  }
+  int beams;
+  if (beamsPart == "16") {
+    beams = 16;
+  } else if (beamsPart == "32") {
+    beams = 32;
+  } else if (beamsPart == "64") {
+    beams = 64;
+  } else {
+    return std::nullopt;
+  }
+  return makeLidarProfile(beams, w);
+}
+
+}  // namespace bba

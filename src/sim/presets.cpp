@@ -1,0 +1,116 @@
+#include "sim/presets.hpp"
+
+namespace bba {
+
+const char* toString(WorldPreset preset) {
+  switch (preset) {
+    case WorldPreset::Suburban:
+      return "suburban";
+    case WorldPreset::Highway:
+      return "highway";
+    case WorldPreset::Tunnel:
+      return "tunnel";
+    case WorldPreset::Parking:
+      return "parking";
+    case WorldPreset::OpenRural:
+      return "open-rural";
+  }
+  return "unknown";
+}
+
+std::optional<WorldPreset> worldPresetFromString(std::string_view name) {
+  for (WorldPreset p : allWorldPresets()) {
+    if (name == toString(p)) return p;
+  }
+  return std::nullopt;
+}
+
+std::array<WorldPreset, kWorldPresetCount> allWorldPresets() {
+  return {WorldPreset::Suburban, WorldPreset::Highway, WorldPreset::Tunnel,
+          WorldPreset::Parking, WorldPreset::OpenRural};
+}
+
+ScenarioConfig scenarioPreset(WorldPreset preset) {
+  ScenarioConfig c;  // == suburban, the historical default
+  switch (preset) {
+    case WorldPreset::Suburban:
+      break;
+
+    case WorldPreset::Highway:
+      // Sparse tall landmarks, high closing speeds. Almost no roadside
+      // structure besides the continuous guardrails and the occasional
+      // gantry pole pair; the instrumented pair closes fast (oncoming),
+      // so self-motion distortion within one sweep is maximal.
+      c.roadLength = 600.0;
+      c.laneWidth = 3.75;
+      c.buildingsPerSide = 2;
+      c.treesPerSide = 6;
+      c.openAreaFraction = 0.3;
+      c.movingVehicles = 6;
+      c.parkedVehicles = 0;
+      c.egoSpeed = 27.0;
+      c.otherSpeed = 30.0;
+      c.otherLateralOffset = 3.75;
+      c.oppositeDirection = true;
+      c.barrierSegmentsPerSide = 12;
+      break;
+
+    case WorldPreset::Tunnel:
+      // Urban canyon: two runs of repeated identical wall segments, a
+      // little traffic, and a handful of curb-parked cars inside the
+      // canyon (the walls occlude everything behind them). The corridor's
+      // BV image is two long parallel lines: stage 1 confidently locks a
+      // 180-degree flip or an arbitrary along-road shift (overlap ~0.83
+      // either way), and the gt-free validation layer rejects every such
+      // lock — the matrix row flatlines at 0% by design. This is the
+      // paper's yaw/translation-degenerate regime, and the row doubles as
+      // a regression pin on the validation layer: the tracker must keep
+      // reporting Bootstrapping rather than accept a 40 m-wrong pose
+      // (tests/scenario_test.cpp pins exactly that).
+      c.roadLength = 300.0;
+      c.buildingsPerSide = 0;
+      c.treesPerSide = 0;
+      c.movingVehicles = 4;
+      c.parkedVehicles = 6;
+      c.egoSpeed = 14.0;
+      c.otherSpeed = 15.0;
+      c.wallRunFraction = 1.0;
+      c.wallSetback = 8.5;
+      break;
+
+    case WorldPreset::Parking:
+      // Parking structure: crawling speeds at close range, dense parked
+      // cars, and a grid of thin pillars + perimeter walls instead of
+      // buildings — many small identical landmarks.
+      c.roadLength = 120.0;
+      c.laneWidth = 3.0;
+      c.buildingsPerSide = 0;
+      c.treesPerSide = 0;
+      c.movingVehicles = 2;
+      c.parkedVehicles = 26;
+      c.separation = 20.0;
+      c.egoSpeed = 3.0;
+      c.otherSpeed = 4.0;
+      c.otherLateralOffset = 3.0;
+      c.pillarRows = 3;
+      c.pillarCols = 10;
+      break;
+
+    case WorldPreset::OpenRural:
+      // Feature-poor open road: most landmarks dropped, light traffic —
+      // the landmark-sparsity failure mode (§V-A) where recovery is
+      // *expected* to miss on a fraction of frames.
+      c.roadLength = 500.0;
+      c.buildingsPerSide = 4;
+      c.treesPerSide = 10;
+      c.openAreaFraction = 0.65;
+      c.movingVehicles = 3;
+      c.parkedVehicles = 1;
+      c.egoSpeed = 17.0;
+      c.otherSpeed = 19.0;
+      break;
+  }
+  return c;
+}
+
+}  // namespace bba

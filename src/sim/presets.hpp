@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+#include "sim/scenario.hpp"
+
+namespace bba {
+
+/// Named world archetypes — the environments the paper's robustness claims
+/// have to survive, each pinned to the failure mode it provokes:
+///
+///   suburban   the classic default (ScenarioConfig{} exactly) — mid-density
+///              landmarks, the regime where recovery is expected to work
+///   highway    sparse tall landmarks (gantry poles), continuous low
+///              guardrails, high closing speeds — strong self-motion
+///              distortion, little omnidirectional structure
+///   tunnel     urban canyon / tunnel: two continuous runs of repeated
+///              identical wall segments and nothing else — repetitive,
+///              translationally near-symmetric geometry that degenerates
+///              the BV yaw/translation search
+///   parking    parking structure: dense grids of thin pillars + perimeter
+///              walls, dense parked cars, crawling speeds at close range
+///   open-rural high openAreaFraction, few landmarks — the feature-poor
+///              stretches where §V-A expects pose recovery to fail
+///
+/// Every preset is a plain ScenarioConfig, so the whole existing pipeline
+/// (SequenceGenerator, FaultInjector, PoseTracker, the benches) runs on any
+/// of them unchanged. `suburban` returns ScenarioConfig{} verbatim, and the
+/// preset-extra knobs consume RNG strictly after every pre-existing draw,
+/// so default worlds are bitwise identical to what makeScenario produced
+/// before the registry existed (asserted by tests/scenario_test.cpp).
+enum class WorldPreset {
+  Suburban,
+  Highway,
+  Tunnel,
+  Parking,
+  OpenRural,
+};
+
+inline constexpr int kWorldPresetCount = 5;
+
+/// Stable lowercase names ("suburban", "highway", "tunnel", "parking",
+/// "open-rural") — the vocabulary of bench/scenario_matrix cells,
+/// bench/scenario_baseline.json keys and the generated EXPERIMENTS tables.
+[[nodiscard]] const char* toString(WorldPreset preset);
+
+/// Inverse of toString; nullopt for unknown names.
+[[nodiscard]] std::optional<WorldPreset> worldPresetFromString(
+    std::string_view name);
+
+/// The preset's scenario knobs. Build the world with the usual
+/// `makeScenario(scenarioPreset(p), rng)`.
+[[nodiscard]] ScenarioConfig scenarioPreset(WorldPreset preset);
+
+/// All presets, in registry (table) order.
+[[nodiscard]] std::array<WorldPreset, kWorldPresetCount> allWorldPresets();
+
+}  // namespace bba

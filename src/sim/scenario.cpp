@@ -291,6 +291,123 @@ World makeScenario(const ScenarioConfig& cfg, Rng& rng) {
     }
   }
 
+  // --- Preset extras ---------------------------------------------------------
+  // Wall runs, guardrails and pillar grids (sim/presets.hpp). Like the
+  // cooperative peers above, every draw here comes strictly after all
+  // pre-existing draws, so a config with the extras disabled produces a
+  // world bitwise identical to the pre-registry generator.
+
+  // Tunnel / urban canyon: continuous runs of repeated IDENTICAL wall
+  // segments on both sides. The segments are deliberately clones (fixed
+  // length, fixed height, fixed setback; only one lateral micro-offset
+  // drawn per side) — the repetitive, translationally near-symmetric
+  // corridor that degenerates the BV yaw/translation search.
+  if (cfg.wallRunFraction > 0.0) {
+    const double runHalf = halfRoad * std::min(cfg.wallRunFraction, 1.0);
+    const double segLength = 12.0;
+    for (int side = -1; side <= 1; side += 2) {
+      // Asymmetric cross-section (the emergency-shoulder side sits closer
+      // to the lanes, as in a real bore): under a 180-degree rotation the
+      // near wall maps onto the far wall, so a perfectly mirror-symmetric
+      // corridor makes the flipped yaw every bit as plausible as the true
+      // one — stage 1 then locks the flip on nearly every frame and the
+      // cell flatlines instead of being marginal.
+      const double setback =
+          cfg.wallSetback * (side < 0 ? 0.72 : 1.0);
+      const double lateral =
+          static_cast<double>(side) * (setback + rng.uniform(-0.2, 0.2));
+      // Identical segments, jittered gaps: an EXACTLY periodic run makes
+      // every 12.8 m along-road shift equally plausible to stage 1 (the
+      // overlap score cannot tell the true shift from a period multiple),
+      // which collapses the whole matrix cell to 0% instead of "marginal".
+      // The irregular gap pattern is the one weak fingerprint the corridor
+      // offers — repetitive enough to stay the hardest preset, aperiodic
+      // enough that a correct lock exists to be found.
+      for (double s = -runHalf; s + segLength <= runHalf + 1e-9;
+           s += segLength + rng.uniform(0.6, 2.2)) {
+        Building seg;
+        const Pose2 pose = roadPose(s + segLength / 2.0, lateral, 0.0, curv);
+        seg.footprint.center = pose.t;
+        seg.footprint.yaw = pose.theta;
+        seg.footprint.halfExtent = {segLength / 2.0, 0.3};
+        seg.height = cfg.wallHeight;
+        world.buildings.push_back(seg);
+      }
+    }
+  }
+
+  // Highway guardrails + gantries: low continuous barrier segments at the
+  // shoulder, and one tall pole pair every ~120 m — the sparse tall
+  // landmarks that are all a highway offers the matcher.
+  if (cfg.barrierSegmentsPerSide > 0) {
+    const double shoulder = cfg.laneWidth * 2.0 + 0.4;
+    for (int side = -1; side <= 1; side += 2) {
+      const double spacing =
+          cfg.roadLength / static_cast<double>(cfg.barrierSegmentsPerSide);
+      for (int i = 0; i < cfg.barrierSegmentsPerSide; ++i) {
+        const double s = -halfRoad + (static_cast<double>(i) + 0.5) * spacing +
+                         rng.uniform(-0.5, 0.5);
+        Building rail;
+        const Pose2 pose =
+            roadPose(s, static_cast<double>(side) * shoulder, 0.0, curv);
+        rail.footprint.center = pose.t;
+        rail.footprint.yaw = pose.theta;
+        rail.footprint.halfExtent = {spacing * 0.45, 0.12};
+        rail.height = 0.85;
+        world.buildings.push_back(rail);
+      }
+    }
+    const double gantrySpacing = 120.0;
+    for (double s = -halfRoad + gantrySpacing / 2.0; s < halfRoad;
+         s += gantrySpacing) {
+      for (int side = -1; side <= 1; side += 2) {
+        const Vec2 p = roadPose(s + rng.uniform(-2.0, 2.0),
+                                static_cast<double>(side) * (shoulder + 0.9),
+                                0.0, curv)
+                           .t;
+        world.trees.push_back(Tree::pole(p, 7.5, 0.2));
+      }
+    }
+  }
+
+  // Parking structure: rows x cols of thin square pillars on both sides of
+  // the aisle, plus a perimeter wall closing the structure.
+  if (cfg.pillarRows > 0 && cfg.pillarCols > 0) {
+    const double aisleEdge = cfg.laneWidth * 2.0 + 2.0;
+    const double gridHalf =
+        (static_cast<double>(cfg.pillarCols) - 1.0) * cfg.pillarSpacing / 2.0;
+    for (int side = -1; side <= 1; side += 2) {
+      for (int r = 0; r < cfg.pillarRows; ++r) {
+        for (int c = 0; c < cfg.pillarCols; ++c) {
+          Building pillar;
+          const double s = -gridHalf + static_cast<double>(c) * cfg.pillarSpacing +
+                           rng.uniform(-0.05, 0.05);
+          const double lateral =
+              static_cast<double>(side) *
+              (aisleEdge + static_cast<double>(r) * cfg.pillarSpacing) +
+              rng.uniform(-0.05, 0.05);
+          const Pose2 pose = roadPose(s, lateral, 0.0, curv);
+          pillar.footprint.center = pose.t;
+          pillar.footprint.yaw = pose.theta;
+          pillar.footprint.halfExtent = {0.3, 0.3};
+          pillar.height = 3.0;
+          world.buildings.push_back(pillar);
+        }
+      }
+      // Back wall behind the last pillar row.
+      Building back;
+      const double backLat =
+          static_cast<double>(side) *
+          (aisleEdge + static_cast<double>(cfg.pillarRows) * cfg.pillarSpacing);
+      const Pose2 pose = roadPose(0.0, backLat, 0.0, curv);
+      back.footprint.center = pose.t;
+      back.footprint.yaw = pose.theta;
+      back.footprint.halfExtent = {gridHalf + cfg.pillarSpacing / 2.0, 0.25};
+      back.height = 3.0;
+      world.buildings.push_back(back);
+    }
+  }
+
   (void)egoStart;
   (void)otherStart;
   return world;

@@ -6,16 +6,22 @@
    must match a heading in that file (GitHub slug rules).
 2. Taxonomy gate: every ``RecoveryFailure`` enumerator (parsed from
    src/obs/report.hpp), every ``wire::DecodeError`` enumerator (parsed
-   from src/wire/frame.hpp), and every ``stream.*`` / ``wire.*`` /
+   from src/wire/frame.hpp), every world-preset name (parsed from
+   src/sim/presets.cpp), every lidar-profile name (parsed from
+   src/lidar/conditions.cpp), and every ``stream.*`` / ``wire.*`` /
    ``service.*`` / ``health.*`` / ``validate.*`` / ``cache.*`` /
    ``fastpath.*`` metric name (parsed from the emitting sources) must
    appear somewhere in the checked documents — the docs may not silently
    fall behind the code.
+3. Generated-block gate: the scenario-matrix block of EXPERIMENTS.md must
+   byte-match a render of bench/scenario_baseline.json
+   (tools/gen_experiments.py --check).
 
 Exit code 0 when healthy; prints every violation otherwise.
 """
 
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -183,6 +189,44 @@ def tracker_outcome_strings() -> list:
     return rungs
 
 
+def world_preset_names() -> list:
+    """String forms of the WorldPreset registry (from toString)."""
+    source = (REPO / "src" / "sim" / "presets.cpp").read_text(encoding="utf-8")
+    m = re.search(r"toString\(WorldPreset\b.*?\n\}", source, re.S)
+    if not m:
+        sys.exit("check_docs: cannot find WorldPreset toString in presets.cpp")
+    names = re.findall(r"case WorldPreset::\w+:\s*return \"([\w-]+)\";",
+                       m.group(0))
+    if not names:
+        sys.exit("check_docs: no WorldPreset names parsed")
+    return names
+
+
+def lidar_profile_names() -> list:
+    """Named lidar condition profiles (from allLidarProfileNames)."""
+    source = (REPO / "src" / "lidar" / "conditions.cpp").read_text(
+        encoding="utf-8")
+    m = re.search(r"allLidarProfileNames\(\).*?\n\}", source, re.S)
+    if not m:
+        sys.exit("check_docs: cannot find allLidarProfileNames in "
+                 "conditions.cpp")
+    names = re.findall(r"\"((?:clear|rain|fog)-\d+)\"", m.group(0))
+    if not names:
+        sys.exit("check_docs: no lidar profile names parsed")
+    return names
+
+
+def check_generated_experiments(errors: list) -> None:
+    """The EXPERIMENTS.md scenario-matrix block must match the baseline."""
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "gen_experiments.py"),
+         "--check"], capture_output=True, text=True)
+    if result.returncode != 0:
+        detail = (result.stdout + result.stderr).strip().replace("\n", "; ")
+        errors.append(f"EXPERIMENTS.md generated block is stale: {detail} "
+                      f"(run tools/gen_experiments.py --update)")
+
+
 def peer_health_states() -> list:
     """String forms of the PeerHealth FSM states (from toString)."""
     source = (REPO / "src" / "service" / "peer_health.cpp").read_text(
@@ -235,6 +279,17 @@ def main() -> int:
             errors.append(
                 f"TrackerOutcome rung '{name}' is undocumented "
                 f"(not found in any checked document)")
+    for name in world_preset_names():
+        if name not in corpus:
+            errors.append(
+                f"world preset '{name}' is undocumented "
+                f"(not found in any checked document)")
+    for name in lidar_profile_names():
+        if name not in corpus:
+            errors.append(
+                f"lidar profile '{name}' is undocumented "
+                f"(not found in any checked document)")
+    check_generated_experiments(errors)
 
     if errors:
         print("docs-health: FAILED")
@@ -250,6 +305,8 @@ def main() -> int:
           f"{len(decode_error_enumerators())} decode-error values, "
           f"{len(peer_health_states())} health states, "
           f"{len(tracker_outcome_strings())} tracker rungs, "
+          f"{len(world_preset_names())} world presets, "
+          f"{len(lidar_profile_names())} lidar profiles, "
           f"{metric_count} metrics)")
     return 0
 

@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Scenario-matrix table generator + regression gate.
+
+The scenario matrix (bench/scenario_matrix) sweeps world preset x link
+fault x remote lidar profile and emits one JSON object per cell. This
+tool owns everything downstream of that JSON:
+
+    gen_experiments.py --update [RUN]   import RUN (a bba-scenario-matrix-v1
+                                        file) into bench/scenario_baseline.json
+                                        and regenerate the generated block of
+                                        EXPERIMENTS.md; with no RUN, re-render
+                                        the block from the committed baseline
+    gen_experiments.py --check          exit 1 unless the EXPERIMENTS.md block
+                                        byte-matches a render of the committed
+                                        baseline (CI docs gate)
+    gen_experiments.py --gate RUN       exit 1 when any cell of RUN falls
+                                        outside its committed per-cell band
+    gen_experiments.py --self-test      prove the gate rejects a doctored
+                                        regression and accepts the baseline
+
+Bands, not exact pins: the simulator's Rng wraps std:: distributions whose
+exact draw sequences are implementation-defined (libstdc++ vs libc++), so
+per-cell numbers can shift across standard libraries. The baseline stores
+each cell's reference stats plus a generous acceptance band
+(success_rate >= reference - SUCCESS_SLACK, mean_terr <= TERR_FACTOR x
+reference + TERR_SLACK) — wide enough for cross-host drift, tight enough
+that a preset rendered unusable or a tracker regression trips it.
+"""
+import argparse
+import json
+import os
+import sys
+
+BEGIN = "<!-- BEGIN GENERATED: scenario-matrix -->"
+END = "<!-- END GENERATED: scenario-matrix -->"
+MARKER = "<!-- generated: do not hand-edit; tools/gen_experiments.py -->"
+
+SUCCESS_SLACK = 0.25   # success_rate may drop this far below the reference
+TERR_FACTOR = 2.0      # mean_terr may grow to FACTOR x reference + SLACK
+TERR_SLACK = 0.30      # meters; floors the band for near-zero references
+
+BASELINE_SCHEMA = "bba-scenario-baseline-v1"
+RUN_SCHEMA = "bba-scenario-matrix-v1"
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def baseline_path():
+    return os.path.join(repo_root(), "bench", "scenario_baseline.json")
+
+
+def experiments_path():
+    return os.path.join(repo_root(), "EXPERIMENTS.md")
+
+
+def load_json(path, schema):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != schema:
+        sys.exit(f"{path}: expected schema {schema!r}, "
+                 f"got {data.get('schema')!r}")
+    return data
+
+
+def bands_for(cell):
+    """The acceptance band of one reference cell."""
+    return {
+        "success_min": max(0.0, cell["success_rate"] - SUCCESS_SLACK),
+        "terr_max": TERR_FACTOR * cell["mean_terr"] + TERR_SLACK,
+    }
+
+
+def baseline_from_run(run):
+    """Distill a matrix run into the committed baseline: reference stats
+    plus the per-cell acceptance band."""
+    cells = {}
+    for key, cell in run["cells"].items():
+        cells[key] = dict(cell)
+        cells[key].update(bands_for(cell))
+    return {
+        "schema": BASELINE_SCHEMA,
+        "frames": run["frames"],
+        "seed": run["seed"],
+        "success_slack": SUCCESS_SLACK,
+        "terr_factor": TERR_FACTOR,
+        "terr_slack": TERR_SLACK,
+        "cells": cells,
+    }
+
+
+def axes(cells):
+    """(presets, faults, profiles) in first-seen (registry) order."""
+    presets, faults, profiles = [], [], []
+    for key in cells:
+        preset, fault, profile = key.split("/")
+        for seq, item in ((presets, preset), (faults, fault),
+                          (profiles, profile)):
+            if item not in seq:
+                seq.append(item)
+    return presets, faults, profiles
+
+
+def render_block(baseline):
+    """The generated EXPERIMENTS.md section between BEGIN/END markers."""
+    cells = baseline["cells"]
+    presets, faults, profiles = axes(cells)
+    lines = [BEGIN, MARKER, ""]
+    lines.append(
+        f"Seed {baseline['seed']}, {baseline['frames']} frames per cell; "
+        f"each cell reports `success rate / mean translation error (m)` of "
+        f"the PoseTracker ladder. The remote car carries the column's "
+        f"profile; the ego keeps a clear 32-beam sensor."
+    )
+    for fault in faults:
+        lines.append("")
+        lines.append(f"**Link fault: `{fault}`**")
+        lines.append("")
+        lines.append("| preset | " + " | ".join(profiles) + " |")
+        lines.append("|---|" + "---|" * len(profiles))
+        for preset in presets:
+            row = [preset]
+            for profile in profiles:
+                cell = cells.get(f"{preset}/{fault}/{profile}")
+                if cell is None:
+                    row.append("-")
+                else:
+                    row.append(f"{cell['success_rate']:.2f} / "
+                               f"{cell['mean_terr']:.2f} m")
+            lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    lines.append("**Degradation-ladder breakdown** (frames per rung, summed "
+                 "over the lidar profiles):")
+    lines.append("")
+    lines.append("| preset | fault | recovered | relaxed | extrapolated | "
+                 "lost |")
+    lines.append("|---|---|---|---|---|---|")
+    for preset in presets:
+        for fault in faults:
+            sums = {"recovered": 0, "relaxed": 0, "extrapolated": 0,
+                    "lost": 0}
+            found = False
+            for profile in profiles:
+                cell = cells.get(f"{preset}/{fault}/{profile}")
+                if cell is None:
+                    continue
+                found = True
+                for rung in sums:
+                    sums[rung] += cell[rung]
+            if found:
+                lines.append(f"| {preset} | {fault} | {sums['recovered']} | "
+                             f"{sums['relaxed']} | {sums['extrapolated']} | "
+                             f"{sums['lost']} |")
+    lines.append("")
+    lines.append("Reproduce (regenerates this block and the committed "
+                 "baseline bands):")
+    lines.append("")
+    lines.append("```sh")
+    lines.append("cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release")
+    lines.append("cmake --build build-rel --target scenario_matrix")
+    lines.append("./build-rel/bench/scenario_matrix --out=scenario_fresh.json")
+    lines.append("python3 tools/gen_experiments.py --gate scenario_fresh.json"
+                 "   # band check only")
+    lines.append("python3 tools/gen_experiments.py --update "
+                 "scenario_fresh.json  # re-pin baseline + tables")
+    lines.append("```")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def splice_block(doc, block):
+    """Replace (or append) the generated block inside EXPERIMENTS.md."""
+    begin = doc.find(BEGIN)
+    end = doc.find(END)
+    if begin != -1 and end != -1:
+        return doc[:begin] + block + doc[end + len(END):]
+    if (begin == -1) != (end == -1):
+        sys.exit("EXPERIMENTS.md: unpaired scenario-matrix markers")
+    sep = "" if doc.endswith("\n\n") else "\n"
+    return doc + sep + block + "\n"
+
+
+def current_block(doc):
+    begin = doc.find(BEGIN)
+    end = doc.find(END)
+    if begin == -1 or end == -1:
+        return None
+    return doc[begin:end + len(END)]
+
+
+def cmd_update(run_path):
+    if run_path:
+        run = load_json(run_path, RUN_SCHEMA)
+        baseline = baseline_from_run(run)
+        with open(baseline_path(), "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(f"wrote {baseline_path()} ({len(baseline['cells'])} cells)")
+    else:
+        baseline = load_json(baseline_path(), BASELINE_SCHEMA)
+    with open(experiments_path()) as f:
+        doc = f.read()
+    updated = splice_block(doc, render_block(baseline))
+    with open(experiments_path(), "w") as f:
+        f.write(updated)
+    print(f"updated EXPERIMENTS.md scenario-matrix block")
+    return 0
+
+
+def cmd_check():
+    baseline = load_json(baseline_path(), BASELINE_SCHEMA)
+    with open(experiments_path()) as f:
+        doc = f.read()
+    actual = current_block(doc)
+    expected = render_block(baseline)
+    if actual is None:
+        print("EXPERIMENTS.md: scenario-matrix generated block missing "
+              "(run tools/gen_experiments.py --update)", file=sys.stderr)
+        return 1
+    if actual != expected:
+        print("EXPERIMENTS.md: scenario-matrix block is stale — it does not "
+              "match a render of bench/scenario_baseline.json.\n"
+              "Run tools/gen_experiments.py --update and commit the result.",
+              file=sys.stderr)
+        return 1
+    print("EXPERIMENTS.md scenario-matrix block matches the baseline")
+    return 0
+
+
+def gate(run, baseline):
+    """(ok, rows): one row per gated cell —
+    (cell, status, success_rate, success_min, mean_terr, terr_max)."""
+    if run["frames"] != baseline["frames"]:
+        sys.exit(f"run has {run['frames']} frames/cell but the baseline "
+                 f"pins {baseline['frames']}; rerun scenario_matrix with "
+                 f"--frames={baseline['frames']}")
+    rows = []
+    ok = True
+    matched = 0
+    for key, cell in run["cells"].items():
+        ref = baseline["cells"].get(key)
+        if ref is None:
+            rows.append((key, "untracked", cell["success_rate"], None,
+                         cell["mean_terr"], None))
+            continue
+        matched += 1
+        bad_success = cell["success_rate"] < ref["success_min"]
+        bad_terr = cell["mean_terr"] > ref["terr_max"]
+        status = "ok"
+        if bad_success or bad_terr:
+            status = "REGRESSED"
+            ok = False
+        rows.append((key, status, cell["success_rate"], ref["success_min"],
+                     cell["mean_terr"], ref["terr_max"]))
+    if matched == 0:
+        ok = False
+        rows.append(("<no cell matched the baseline>", "MISSING", None,
+                     None, None, None))
+    return ok, rows
+
+
+def render_gate(rows):
+    header = ("cell", "status", "succ", ">=min", "terr", "<=max")
+    table = [header]
+    for key, status, sr, sr_min, terr, terr_max in rows:
+        table.append((
+            key, status,
+            f"{sr:.2f}" if sr is not None else "-",
+            f"{sr_min:.2f}" if sr_min is not None else "-",
+            f"{terr:.2f}" if terr is not None else "-",
+            f"{terr_max:.2f}" if terr_max is not None else "-",
+        ))
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    return "\n".join("  ".join(c.ljust(w) for c, w in zip(row, widths))
+                     for row in table)
+
+
+def cmd_gate(run_path):
+    run = load_json(run_path, RUN_SCHEMA)
+    baseline = load_json(baseline_path(), BASELINE_SCHEMA)
+    ok, rows = gate(run, baseline)
+    print(render_gate(rows))
+    if not ok:
+        bad = [r[0] for r in rows if r[1] in ("REGRESSED", "MISSING")]
+        print(f"SCENARIO GATE FAILED: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    print("scenario gate passed")
+    return 0
+
+
+def cmd_self_test():
+    baseline = load_json(baseline_path(), BASELINE_SCHEMA)
+    keys = sorted(baseline["cells"])
+    if not keys:
+        print("self-test FAILED: baseline has no cells", file=sys.stderr)
+        return 1
+
+    def run_of(doctor=None):
+        """A synthetic run replaying the baseline's own reference stats,
+        with one cell optionally doctored."""
+        cells = {}
+        for key, ref in baseline["cells"].items():
+            cell = {k: v for k, v in ref.items()
+                    if k not in ("success_min", "terr_max")}
+            if doctor and key == doctor[0]:
+                cell.update(doctor[1])
+            cells[key] = cell
+        return {"schema": RUN_SCHEMA, "frames": baseline["frames"],
+                "seed": baseline["seed"], "cells": cells}
+
+    ok, _ = gate(run_of(), baseline)
+    if not ok:
+        print("self-test FAILED: the baseline's own stats did not pass",
+              file=sys.stderr)
+        return 1
+    victim = keys[0]
+    ref = baseline["cells"][victim]
+    doctored = {"success_rate": max(0.0, ref["success_min"] - 0.05),
+                "mean_terr": ref["terr_max"] + 0.5}
+    ok, rows = gate(run_of((victim, doctored)), baseline)
+    if ok:
+        print(f"self-test FAILED: doctored cell {victim} passed the gate",
+              file=sys.stderr)
+        return 1
+    bad = {r[0] for r in rows if r[1] == "REGRESSED"}
+    if bad != {victim}:
+        print(f"self-test FAILED: expected only {victim} to regress, "
+              f"got {bad}", file=sys.stderr)
+        return 1
+    print(f"self-test passed ({victim} doctored below its band and "
+          "rejected; reference stats accepted)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--update", nargs="?", const="", metavar="RUN",
+                      help="import RUN into the baseline (when given) and "
+                           "regenerate the EXPERIMENTS.md block")
+    mode.add_argument("--check", action="store_true",
+                      help="verify the EXPERIMENTS.md block is current")
+    mode.add_argument("--gate", metavar="RUN",
+                      help="band-check a fresh run against the baseline")
+    mode.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.update is not None:
+        return cmd_update(args.update or None)
+    if args.check:
+        return cmd_check()
+    if args.gate:
+        return cmd_gate(args.gate)
+    return cmd_self_test()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
