@@ -122,6 +122,7 @@ CellResult runCell(WorldPreset preset, const FaultPreset& fault,
         break;
       case TrackerOutcome::Bootstrapping:
       case TrackerOutcome::Held:
+      case TrackerOutcome::Relocalized:  // unreachable: no map attached
         break;
     }
     if (t.poseValid) ++out.covered;

@@ -86,6 +86,8 @@ CellResult runCell(const Cell& cell, int frames) {
         ++out.lost;
         break;
       case TrackerOutcome::Bootstrapping:
+      case TrackerOutcome::Held:
+      case TrackerOutcome::Relocalized:  // unreachable: no map attached
         break;
     }
     if (t.poseValid) {

@@ -43,6 +43,16 @@ target_compile_definitions(fleet_scale PRIVATE
 set_target_properties(fleet_scale PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 
+# Keyframe map benchmark (google-benchmark, manual timing): index
+# build/query latency vs store size (4 -> 4096 keyframes) plus
+# relocalization latency / coverage on scenario-matrix worlds.
+add_executable(map_reloc ${BBA_BENCH_DIR}/map_reloc.cpp)
+target_link_libraries(map_reloc PRIVATE bba benchmark::benchmark)
+target_compile_definitions(map_reloc PRIVATE
+  BBA_BUILD_TYPE="$<LOWER_CASE:$<CONFIG>>")
+set_target_properties(map_reloc PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+
 # `cmake --build <dir> --target run_perf` runs the suite and distills
 # BENCH_PR1.json at the repo root (serial vs. threaded ns/op per stage).
 add_custom_target(run_perf

@@ -526,6 +526,22 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   return results;
 }
 
+map::InsertResult CooperationService::recordEgoKeyframe(
+    const CarPerceptionData& ego, const Pose2& egoGlobalPose) {
+  if (mapStore_ == nullptr) return {};
+  const int egoExpected = cfg_.tracker.aligner.bev.imageSize();
+  if (ego.bvImage.width() != egoExpected ||
+      ego.bvImage.height() != egoExpected) {
+    return {};
+  }
+  // Same cache key processFrame() uses for this frame, so whichever of
+  // the two runs first pays the one ego pipeline and the other reuses it.
+  const std::shared_ptr<const EgoFeatures> feats = egoCache_.features(
+      static_cast<std::uint64_t>(frames_), featureAligner_, ego);
+  if (!feats || feats->descriptors.empty()) return {};
+  return mapStore_->insert(egoGlobalPose, feats->descriptors, ego);
+}
+
 ServiceReport CooperationService::report() const {
   ServiceReport rep;
   rep.framesProcessed = frames_;

@@ -11,6 +11,7 @@
 #include "core/bb_align.hpp"
 #include "core/ego_cache.hpp"
 #include "geom/pose2.hpp"
+#include "map/keyframe_store.hpp"
 #include "service/admission.hpp"
 #include "service/peer_health.hpp"
 #include "stream/pose_tracker.hpp"
@@ -251,6 +252,27 @@ class CooperationService {
   /// Deterministic snapshot of every session's stats (session-id order).
   [[nodiscard]] ServiceReport report() const;
 
+  /// Attach a keyframe map (nullptr detaches; not owned). The service is
+  /// a map FEEDER: recordEgoKeyframe() below offers ego frames to the
+  /// store from serial code. Session trackers stay map-free here — they
+  /// run cross-session parallel and the store is externally synchronized;
+  /// a relocalizing consumer attaches the store to its own serial
+  /// PoseTracker instead (see PoseTracker::attachMapStore).
+  void attachMapStore(bba::map::KeyframeStore* store) { mapStore_ = store; }
+  [[nodiscard]] bba::map::KeyframeStore* mapStore() const {
+    return mapStore_;
+  }
+
+  /// Offer the ego vehicle's current perception as a map keyframe at
+  /// `egoGlobalPose` (its odometry/GNSS pose in the map frame). Call
+  /// immediately BEFORE processFrame() with the same ego payload: the
+  /// ego features computed here land in the frame-scoped cache, so the
+  /// frame's sessions reuse them for free. No-op (returns a default
+  /// InsertResult) without an attached map or with a mis-sized ego
+  /// payload; the store dedups by spatial gap.
+  map::InsertResult recordEgoKeyframe(const CarPerceptionData& ego,
+                                      const Pose2& egoGlobalPose);
+
  private:
   struct Session;
   Session& sessionFor(std::uint64_t peerId);
@@ -262,6 +284,7 @@ class CooperationService {
   BBAlign featureAligner_;
   EgoFeatureCache egoCache_;
   int frames_ = 0;
+  bba::map::KeyframeStore* mapStore_ = nullptr;  ///< not owned
   // Ordered map: iteration order == session-id order == merge order.
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
 };

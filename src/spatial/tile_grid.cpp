@@ -1,0 +1,85 @@
+#include "spatial/tile_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bba {
+
+namespace {
+
+/// Tile coordinate of a scalar position (floor division by the edge).
+std::int64_t tileCoord(double v, double tileSize) {
+  return static_cast<std::int64_t>(std::floor(v / tileSize));
+}
+
+/// Pack two tile coordinates into one ordered key: each coordinate is
+/// bias-shifted into [0, 2^32) so unsigned key order equals lexicographic
+/// (tx, ty) order — a row of tiles is a contiguous key range even across
+/// the origin. 2^31 tiles per axis is ~10^9 km of world at any practical
+/// tile size — effectively unbounded — while keeping the key a single
+/// well-ordered integer (the future shard key).
+std::uint64_t packKey(std::int64_t tx, std::int64_t ty) {
+  BBA_ASSERT(tx > INT32_MIN && tx < INT32_MAX);
+  BBA_ASSERT(ty > INT32_MIN && ty < INT32_MAX);
+  const std::uint64_t ux = static_cast<std::uint64_t>(tx + 0x80000000ll);
+  const std::uint64_t uy = static_cast<std::uint64_t>(ty + 0x80000000ll);
+  return (ux << 32) | uy;
+}
+
+}  // namespace
+
+TileGrid2::TileGrid2(double tileSize) : tileSize_(tileSize) {
+  BBA_ASSERT_MSG(tileSize > 0.0, "TileGrid2 tile size must be positive");
+}
+
+std::uint64_t TileGrid2::tileKey(const Vec2& p) const {
+  return packKey(tileCoord(p.x, tileSize_), tileCoord(p.y, tileSize_));
+}
+
+void TileGrid2::insert(std::uint64_t id, const Vec2& p) {
+  std::vector<std::uint64_t>& tile = tiles_[tileKey(p)];
+  const auto it = std::lower_bound(tile.begin(), tile.end(), id);
+  BBA_ASSERT_MSG(it == tile.end() || *it != id,
+                 "TileGrid2: duplicate id insert");
+  tile.insert(it, id);
+  ++size_;
+}
+
+void TileGrid2::remove(std::uint64_t id, const Vec2& p) {
+  const auto tileIt = tiles_.find(tileKey(p));
+  BBA_ASSERT_MSG(tileIt != tiles_.end(), "TileGrid2: remove from empty tile");
+  std::vector<std::uint64_t>& tile = tileIt->second;
+  const auto it = std::lower_bound(tile.begin(), tile.end(), id);
+  BBA_ASSERT_MSG(it != tile.end() && *it == id,
+                 "TileGrid2: remove of unknown id");
+  tile.erase(it);
+  if (tile.empty()) tiles_.erase(tileIt);
+  --size_;
+}
+
+std::vector<std::uint64_t> TileGrid2::candidatesInRadius(
+    const Vec2& p, double radius) const {
+  BBA_ASSERT(radius >= 0.0);
+  std::vector<std::uint64_t> out;
+  const std::int64_t tx0 = tileCoord(p.x - radius, tileSize_);
+  const std::int64_t tx1 = tileCoord(p.x + radius, tileSize_);
+  const std::int64_t ty0 = tileCoord(p.y - radius, tileSize_);
+  const std::int64_t ty1 = tileCoord(p.y + radius, tileSize_);
+  for (std::int64_t tx = tx0; tx <= tx1; ++tx) {
+    // One ordered-map probe per row start, then walk the contiguous key
+    // range [packKey(tx, ty0), packKey(tx, ty1)] — rows are key-contiguous
+    // by construction.
+    for (auto it = tiles_.lower_bound(packKey(tx, ty0));
+         it != tiles_.end() && it->first <= packKey(tx, ty1); ++it) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  // Tiles are visited in key order, not id order: one sort restores the
+  // deterministic ascending-id contract.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bba

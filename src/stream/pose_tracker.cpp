@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "map/keyframe_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -24,6 +25,8 @@ const char* toString(TrackerOutcome o) {
       return "bootstrapping";
     case TrackerOutcome::Held:
       return "held";
+    case TrackerOutcome::Relocalized:
+      return "relocalized";
   }
   return "?";
 }
@@ -85,12 +88,23 @@ std::string TrackerReport::toJson(bool includeTimings) const {
       fastPathAttempted ? "true" : "false",
       fastPathAccepted ? "true" : "false");
   out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "\"relocalization_attempted\":%s,\"relocalization_accepted\":%s,"
+      "\"relocalization_candidates\":%d,\"relocalization_keyframe\":%llu,",
+      relocalizationAttempted ? "true" : "false",
+      relocalizationAccepted ? "true" : "false", relocalizationCandidates,
+      static_cast<unsigned long long>(relocalizationKeyframe));
+  out += buf;
   out += "\"recovery\":";
   out += remoteReceived ? recovery.toJson(includeTimings)
                         : std::string("null");
   out += ",\"relaxedRecovery\":";
   out += relaxedAttempted ? relaxedRecovery.toJson(includeTimings)
                           : std::string("null");
+  out += ",\"relocalization\":";
+  out += relocalizationAttempted ? relocalization.toJson(includeTimings)
+                                 : std::string("null");
   out += "}";
   return out;
 }
@@ -125,6 +139,9 @@ void recordTrackerMetrics(const TrackerReport& rep) {
     case TrackerOutcome::Held:
       reg->counter("stream.held").increment();
       break;
+    case TrackerOutcome::Relocalized:
+      reg->counter("stream.relocalized").increment();
+      break;
   }
   if (rep.schedulerSkipped) reg->counter("stream.skipped").increment();
   if (rep.gateRejected) reg->counter("stream.gate_rejected").increment();
@@ -136,6 +153,12 @@ void recordTrackerMetrics(const TrackerReport& rep) {
   if (rep.fastPathAttempted && !rep.fastPathAccepted)
     reg->counter("fastpath.fallback").increment();
   if (rep.rebootstrapped) reg->counter("stream.rebootstraps").increment();
+  if (rep.relocalizationAttempted)
+    reg->counter("map.reloc_attempted").increment();
+  if (rep.relocalizationAccepted)
+    reg->counter("map.reloc_accepted").increment();
+  if (rep.relocalizationAttempted && !rep.relocalizationAccepted)
+    reg->counter("map.reloc_rejected").increment();
   reg->histogram("stream.confidence").observe(rep.confidence);
   reg->histogram("stream.consecutive_misses").observe(rep.consecutiveMisses);
   if (rep.predictionAvailable && rep.remoteReceived && rep.recovery.success) {
@@ -161,6 +184,7 @@ PoseTracker::PoseTracker(PoseTrackerConfig config)
   BBA_ASSERT(cfg_.historySize >= 1);
   BBA_ASSERT(cfg_.maxConsecutiveMisses >= 1);
   BBA_ASSERT(cfg_.confidenceDecay > 0.0 && cfg_.confidenceDecay <= 1.0);
+  BBA_ASSERT(cfg_.mapRelocalizationAttempts >= 1);
 }
 
 void PoseTracker::reset() {
@@ -237,6 +261,82 @@ TrackerResult PoseTracker::miss(int frame,
   return out;
 }
 
+bool PoseTracker::mapRelocalizationReady() const {
+  return cfg_.enableMapRelocalization && mapStore_ != nullptr &&
+         egoPosePrior_.has_value();
+}
+
+void PoseTracker::offerKeyframe(const CarPerceptionData& ego,
+                                const EgoFeatures* egoFeatures) {
+  if (mapStore_ == nullptr || !egoPosePrior_ || egoFeatures == nullptr ||
+      egoFeatures->descriptors.empty()) {
+    return;
+  }
+  // The store dedups by spatial gap, so offering every accepted frame is
+  // cheap in steady state; the descriptor/payload copies only stick for
+  // frames that actually become keyframes.
+  (void)mapStore_->insert(*egoPosePrior_, egoFeatures->descriptors, ego);
+}
+
+/// Rung 4: query the attached keyframe map around the ego pose prior and
+/// run full recover() against the best-scoring candidates. Acceptance is
+/// gated UNCONDITIONALLY by the gt-free validation score — with no motion
+/// prediction to lean on, an unvalidated lock is never reported (the
+/// tunnel no-false-lock pin holds with a map attached).
+bool PoseTracker::tryRelocalize(const CarPerceptionData& ego,
+                                const EgoFeatures* egoFeatures, Rng& rng,
+                                TrackerReport& rep, TrackerResult& out) {
+  BBA_SPAN("tracker-relocalize");
+  std::shared_ptr<const EgoFeatures> owned;
+  if (egoFeatures == nullptr) {
+    owned = primary_.computeEgoFeatures(ego);
+    egoFeatures = owned.get();
+  }
+  rep.relocalizationAttempted = true;
+  const Pose2 prior = *egoPosePrior_;
+  const std::vector<map::QueryMatch> matches =
+      mapStore_->query(egoFeatures->descriptors, prior.t);
+  rep.relocalizationCandidates = static_cast<int>(matches.size());
+  int attempts = 0;
+  for (const map::QueryMatch& m : matches) {
+    if (attempts >= cfg_.mapRelocalizationAttempts) break;
+    const map::Keyframe* kf = mapStore_->keyframe(m.id);
+    if (kf == nullptr || kf->payload.bvImage.empty()) continue;  // index-only
+    ++attempts;
+    // The keyframe plays the "other" car. Expected keyframe -> ego
+    // transform from the two global poses: T = G_ego^-1 * G_kf.
+    RecoveryHints hints;
+    hints.posePrior = prior.inverse().compose(kf->globalPose);
+    const PoseRecoveryResult r = primary_.recover(
+        kf->payload, ego, rng, &rep.relocalization, &hints, egoFeatures);
+    if (!r.success || !r.validation.computed ||
+        r.validation.score < cfg_.minValidationScore) {
+      continue;
+    }
+    // Lift the relative lock back to the map frame: G_ego = G_kf * T^-1.
+    const Pose2 egoGlobal = kf->globalPose.compose(r.estimate.inverse());
+    // Odometry-consistency gate: a lock that strays outside the drift
+    // envelope of the dead-reckoned prior is a slipped match (self-similar
+    // corridors validate shifted poses), not a recovery.
+    if ((egoGlobal.t - prior.t).norm() >
+        cfg_.relocalizationMaxPriorDeviationM) {
+      continue;
+    }
+    egoPosePrior_ = egoGlobal;
+    rep.relocalizationAccepted = true;
+    rep.relocalizationKeyframe = kf->id;
+    out.poseValid = true;
+    out.pose = egoGlobal;
+    out.pose3D = Pose3::fromPose2(egoGlobal);
+    out.confidence = cfg_.relocalizedConfidence;
+    out.outcome = TrackerOutcome::Relocalized;
+    rep.outcome = out.outcome;
+    rep.confidence = out.confidence;
+    return true;
+  }
+  return false;
+}
+
 TrackerResult PoseTracker::coast(TrackerReport* report) {
   BBA_SPAN("tracker-coast");
   TrackerReport rep;
@@ -249,6 +349,31 @@ TrackerResult PoseTracker::coast(TrackerReport* report) {
     rep.prediction = *prediction;
   }
   TrackerResult out = miss(frame, prediction, rep);
+  recordTrackerMetrics(rep);
+  if (report) *report = rep;
+  return out;
+}
+
+TrackerResult PoseTracker::coastWithEgo(const CarPerceptionData& ego,
+                                        Rng& rng, TrackerReport* report) {
+  BBA_SPAN("tracker-coast-ego");
+  TrackerReport rep;
+  const int frame = frame_++;
+  rep.frameIndex = frame;
+  rep.remoteReceived = false;
+  const std::optional<Pose2> prediction = predictAt(frame);
+  if (prediction) {
+    rep.predictionAvailable = true;
+    rep.prediction = *prediction;
+  }
+  TrackerResult out = miss(frame, prediction, rep);
+  // Rung 4: only once the peer ladder has truly run out — an Extrapolated
+  // frame still trusts its track more than a map lock.
+  if ((out.outcome == TrackerOutcome::TrackLost ||
+       out.outcome == TrackerOutcome::Bootstrapping) &&
+      mapRelocalizationReady()) {
+    tryRelocalize(ego, nullptr, rng, rep, out);
+  }
   recordTrackerMetrics(rep);
   if (report) *report = rep;
   return out;
@@ -379,6 +504,7 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
     const bool relock = lostSinceAccept_;
     accept(frame, primary.estimate);
     lostSinceAccept_ = false;
+    offerKeyframe(ego, egoFeatures);
     TrackerResult out;
     out.poseValid = true;
     out.pose = primary.estimate;
@@ -415,6 +541,7 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
       rep.rebootstrapped = lostSinceAccept_;
       accept(frame, retried.estimate);
       lostSinceAccept_ = false;
+      offerKeyframe(ego, egoFeatures);
       TrackerResult out;
       out.poseValid = true;
       out.pose = retried.estimate;
@@ -432,6 +559,13 @@ TrackerResult PoseTracker::update(const CarPerceptionData& other,
 
   // Rungs 2/3.
   TrackerResult out = miss(frame, prediction, rep);
+  // Rung 4: map relocalization, only when the peer ladder bottomed out
+  // (a coasting Extrapolated track still outranks a map lock).
+  if ((out.outcome == TrackerOutcome::TrackLost ||
+       out.outcome == TrackerOutcome::Bootstrapping) &&
+      mapRelocalizationReady()) {
+    tryRelocalize(ego, egoFeatures, rng, rep, out);
+  }
   recordTrackerMetrics(rep);
   if (report) *report = rep;
   return out;

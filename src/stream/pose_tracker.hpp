@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <string>
@@ -9,6 +10,10 @@
 #include "dataset/sequence.hpp"
 
 namespace bba {
+
+namespace map {
+class KeyframeStore;  // map/keyframe_store.hpp
+}  // namespace map
 
 /// How one streamed frame's reported pose was obtained — the rungs of the
 /// degradation ladder, best first.
@@ -25,9 +30,16 @@ enum class TrackerOutcome {
   /// evidence of a failing track. Appended last so existing outcome
   /// indices stay pinned.
   Held,
+  /// Map relocalization: the track is gone (TrackLost / Bootstrapping) and
+  /// no cooperative peer rescued it, but a keyframe-map query produced a
+  /// validated lock against a stored place (see map/keyframe_store.hpp).
+  /// Unlike every other rung, the reported pose is the EGO GLOBAL pose in
+  /// the map frame — there is no peer to be relative to. Appended after
+  /// Held to keep existing outcome indices pinned.
+  Relocalized,
 };
 
-inline constexpr int kTrackerOutcomeCount = 6;
+inline constexpr int kTrackerOutcomeCount = 7;
 
 [[nodiscard]] const char* toString(TrackerOutcome o);
 
@@ -99,6 +111,33 @@ struct PoseTrackerConfig {
   bool enableFastPath = false;
   /// Fast path only: other-image keypoint budget (see RecoveryHints).
   int fastPathMaxKeypoints = 300;
+
+  /// Map relocalization (the rung below track-lost). Engages only when a
+  /// KeyframeStore is attached via attachMapStore() AND an ego pose prior
+  /// has been fed via setEgoPosePrior() — a tracker without a map runs
+  /// byte-identical to before this rung existed.
+  bool enableMapRelocalization = true;
+  /// Max keyframe candidates fed to recover() per relocalization attempt
+  /// (each costs a full recover() call; the best-scoring candidate goes
+  /// first, so attempt 2+ only runs when attempt 1 fails or is rejected).
+  int mapRelocalizationAttempts = 2;
+  /// Confidence of a Relocalized pose. Below relaxedConfidence: the map
+  /// may be stale and the ego prior coarse, and unlike rungs 0/1 there is
+  /// no motion-prediction gate backing the acceptance — only the gt-free
+  /// validation gate (which relocalization applies UNCONDITIONALLY, even
+  /// with enableValidationGate off: with no trusted prior to lean on, an
+  /// unvalidated map lock is never reported).
+  double relocalizedConfidence = 0.6;
+  /// Odometry-consistency envelope: an accepted relocalization's ego
+  /// global pose must land within this many meters of the fed pose prior.
+  /// Self-similar environments (tunnels, corridors) produce slipped locks
+  /// that the occupancy/box validator scores highly — a corridor shifted
+  /// along itself still overlaps itself — but such locks stray from the
+  /// dead-reckoned prior while honest ones land inside the drift
+  /// envelope. Size it to the worst odometry drift expected between map
+  /// visits; the pinned tunnel cell separates at ~0.5m (honest) vs
+  /// ~3.3m (slipped).
+  double relocalizationMaxPriorDeviationM = 2.5;
 };
 
 /// Relaxed-parameter variant of an aligner config for the rung-1 retry:
@@ -154,6 +193,15 @@ struct TrackerReport {
   /// Rung-0a fast-path account (enableFastPath trackers only).
   bool fastPathAttempted = false;
   bool fastPathAccepted = false;
+  /// Map-relocalization account (map-attached trackers only). Attempted
+  /// means the keyframe store was queried; candidates is the match count;
+  /// keyframe is the accepted keyframe's id (0 when rejected);
+  /// `relocalization` is the last relocalization recover()'s report.
+  bool relocalizationAttempted = false;
+  bool relocalizationAccepted = false;
+  int relocalizationCandidates = 0;
+  std::uint64_t relocalizationKeyframe = 0;
+  PoseRecoveryReport relocalization;
 
   /// One JSON object with every field above (stable key names); embeds
   /// the recover() reports under "recovery" / "relaxedRecovery". With
@@ -207,6 +255,16 @@ class PoseTracker {
   /// advances time and walks straight to rung 2 of the ladder.
   TrackerResult coast(TrackerReport* report = nullptr);
 
+  /// coast(), but with the ego car's own perception available: when the
+  /// miss lands on TrackLost/Bootstrapping and a map is attached, the
+  /// tracker queries the keyframe store around the ego pose prior and
+  /// tries to relocalize (outcome Relocalized, pose = ego global pose in
+  /// the map frame). This is the no-peer-in-range path: the vehicle still
+  /// senses, it just has nobody to match against. `rng` drives the
+  /// relocalization recover() calls.
+  TrackerResult coastWithEgo(const CarPerceptionData& ego, Rng& rng,
+                             TrackerReport* report = nullptr);
+
   /// Process one frame the CALLER chose not to examine (spatial pre-gate
   /// skip or load shedding — see service/admission.hpp): advance time and
   /// hold the track by extrapolation, WITHOUT charging the miss budget.
@@ -227,6 +285,27 @@ class PoseTracker {
   /// handshake) as if it were an accepted measurement: initializes or
   /// steadies the track without running recovery.
   void acceptExternalPose(const Pose2& pose);
+
+  /// Attach a keyframe map (nullptr detaches). NOT owned; must outlive
+  /// the tracker's use of it, and must only be shared between trackers
+  /// that run serially (the store is externally synchronized). With a map
+  /// attached AND an ego pose prior set, the tracker (a) offers an ego
+  /// keyframe to the store on every accepted measurement, and (b) gains
+  /// the Relocalized rung below track-lost.
+  void attachMapStore(map::KeyframeStore* store) { mapStore_ = store; }
+  [[nodiscard]] map::KeyframeStore* mapStore() const { return mapStore_; }
+
+  /// Feed the ego vehicle's own global pose estimate (odometry / dead
+  /// reckoning in the map frame) — the spatial prior for keyframe inserts
+  /// and map queries. Call once per frame BEFORE update()/coastWithEgo()
+  /// when a map is attached; a successful relocalization refreshes it to
+  /// the recovered map-frame pose. Deliberately a plain setter: the
+  /// tracker models no ego-motion of its own (its history is
+  /// peer-relative), the platform's odometry does.
+  void setEgoPosePrior(const Pose2& pose) { egoPosePrior_ = pose; }
+  [[nodiscard]] const std::optional<Pose2>& egoPosePrior() const {
+    return egoPosePrior_;
+  }
 
   /// Constant-velocity prediction for the *next* frame, when a track
   /// exists.
@@ -253,6 +332,19 @@ class PoseTracker {
   void accept(int frame, const Pose2& pose);
   TrackerResult miss(int frame, const std::optional<Pose2>& prediction,
                      TrackerReport& rep);
+  /// True when the Relocalized rung can engage at all this frame.
+  [[nodiscard]] bool mapRelocalizationReady() const;
+  /// Query the map around the ego pose prior and try to recover against
+  /// the best candidates. On a validated lock, fills `out`/`rep` and
+  /// refreshes the ego pose prior. Never touches the peer-relative
+  /// history.
+  bool tryRelocalize(const CarPerceptionData& ego,
+                     const EgoFeatures* egoFeatures, Rng& rng,
+                     TrackerReport& rep, TrackerResult& out);
+  /// Offer the current ego frame to the attached map as a keyframe
+  /// (no-op without a map, an ego pose prior, or usable features).
+  void offerKeyframe(const CarPerceptionData& ego,
+                     const EgoFeatures* egoFeatures);
 
   PoseTrackerConfig cfg_;
   BBAlign primary_;
@@ -263,6 +355,8 @@ class PoseTracker {
   int misses_ = 0;   ///< consecutive misses
   int skips_ = 0;    ///< consecutive scheduler skips (never counts as a miss)
   bool lostSinceAccept_ = false;  ///< a track was lost; next lock is a re-bootstrap
+  map::KeyframeStore* mapStore_ = nullptr;  ///< not owned
+  std::optional<Pose2> egoPosePrior_;  ///< ego global pose, map frame
 };
 
 }  // namespace bba

@@ -10,7 +10,8 @@
    src/sim/presets.cpp), every lidar-profile name (parsed from
    src/lidar/conditions.cpp), and every ``stream.*`` / ``wire.*`` /
    ``service.*`` / ``health.*`` / ``validate.*`` / ``cache.*`` /
-   ``fastpath.*`` metric name (parsed from the emitting sources) must
+   ``fastpath.*`` / ``map.*`` metric name (parsed from the emitting
+   sources) must
    appear somewhere in the checked documents — the docs may not silently
    fall behind the code.
 3. Generated-block gate: the scenario-matrix block of EXPERIMENTS.md must
@@ -174,6 +175,16 @@ def fastpath_metric_names() -> list:
     return sorted(names)
 
 
+def map_metric_names() -> list:
+    """map.* counters/gauges/histograms (keyframe store + reloc rung)."""
+    names = set()
+    for sub in ("map", "stream"):
+        for src in sorted((REPO / "src" / sub).glob("*.cpp")):
+            names.update(re.findall(r"\"(map\.\w+)\"", src.read_text(
+                encoding="utf-8")))
+    return sorted(names)
+
+
 def tracker_outcome_strings() -> list:
     """String forms of the TrackerOutcome ladder rungs (from toString)."""
     source = (REPO / "src" / "stream" / "pose_tracker.cpp").read_text(
@@ -264,7 +275,8 @@ def main() -> int:
                 f"(not found in any checked document)")
     for name in (wire_metric_names() + service_metric_names()
                  + health_metric_names() + validate_metric_names()
-                 + cache_metric_names() + fastpath_metric_names()):
+                 + cache_metric_names() + fastpath_metric_names()
+                 + map_metric_names()):
         if name not in corpus:
             errors.append(
                 f"metric '{name}' is undocumented "
@@ -299,7 +311,7 @@ def main() -> int:
     metric_count = (len(stream_metric_names()) + len(wire_metric_names())
                     + len(service_metric_names()) + len(health_metric_names())
                     + len(validate_metric_names()) + len(cache_metric_names())
-                    + len(fastpath_metric_names()))
+                    + len(fastpath_metric_names()) + len(map_metric_names()))
     print(f"docs-health: OK ({len(DOCS)} documents, "
           f"{len(recovery_failure_enumerators())} failure values, "
           f"{len(decode_error_enumerators())} decode-error values, "

@@ -31,6 +31,11 @@ STAGE_NAMES = {
     "BM_ServiceProcessFrame/peers:1": "service_frame_1peer",
     "BM_ServiceProcessFrame/peers:2": "service_frame_2peers",
     "BM_ServiceProcessFrame/peers:4": "service_frame_4peers",
+    # bench/map_reloc sweeps: keyframes:N folds generically
+    # ("map_build_keyframes256", "map_query_keyframes4096"); only the
+    # world-preset axis gets human names.
+    "BM_MapReloc/world:0": "map_reloc_suburban",
+    "BM_MapReloc/world:1": "map_reloc_tunnel",
 }
 
 # Standard google-benchmark JSON keys; anything else numeric on a benchmark
