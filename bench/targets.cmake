@@ -43,6 +43,16 @@ target_compile_definitions(fleet_scale PRIVATE
 set_target_properties(fleet_scale PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 
+# Fleet-churn lifecycle benchmark (google-benchmark, manual per-frame
+# timing): rotating peers contending for a smaller session table, emitting
+# eviction / reaper / readmission tallies alongside fps / p50 / p99.
+add_executable(fleet_churn ${BBA_BENCH_DIR}/fleet_churn.cpp)
+target_link_libraries(fleet_churn PRIVATE bba benchmark::benchmark)
+target_compile_definitions(fleet_churn PRIVATE
+  BBA_BUILD_TYPE="$<LOWER_CASE:$<CONFIG>>")
+set_target_properties(fleet_churn PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+
 # Keyframe map benchmark (google-benchmark, manual timing): index
 # build/query latency vs store size (4 -> 4096 keyframes) plus
 # relocalization latency / coverage on scenario-matrix worlds.

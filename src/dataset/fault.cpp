@@ -27,8 +27,55 @@ constexpr std::uint64_t kChannelPayload = 4;
 constexpr std::uint64_t kChannelAdvPose = 5;
 constexpr std::uint64_t kChannelAdvReplay = 6;
 constexpr std::uint64_t kChannelAdvBoxes = 7;
+constexpr std::uint64_t kChannelChurn = 8;
+constexpr std::uint64_t kChannelChurnSilence = 9;
+
+/// Fold a peer id into a fault seed (odd multiplier, distinct from the
+/// frame/channel salts) so per-peer churn streams are mutually
+/// decorrelated AND decorrelated from every per-frame channel.
+std::uint64_t peerSeed(std::uint64_t seed, std::uint64_t peerId) {
+  return seed ^ (peerId * 0xD6E8FEB86659FD93ULL);
+}
 
 }  // namespace
+
+const char* toString(ChurnState s) {
+  switch (s) {
+    case ChurnState::Absent:
+      return "absent";
+    case ChurnState::Present:
+      return "present";
+    case ChurnState::Silent:
+      return "silent";
+  }
+  return "unknown";
+}
+
+ChurnState churnState(const FaultConfig& cfg, int frameIndex,
+                      std::uint64_t peerId) {
+  const FaultConfig::ChurnConfig& ch = cfg.churn;
+  if (!ch.enable) return ChurnState::Present;
+  BBA_ASSERT(ch.dwellMinFrames >= 1 && ch.dwellMaxFrames >= ch.dwellMinFrames);
+  BBA_ASSERT(ch.gapMinFrames >= 0 && ch.gapMaxFrames >= ch.gapMinFrames);
+  // Per-peer cycle shape: dwell, gap and phase offset are drawn once per
+  // peer (frame-free stream), in fixed order. The frame then indexes into
+  // the cycle arithmetically — O(1), no history scan.
+  Rng peer = frameRng(peerSeed(cfg.seed, peerId), 0, kChannelChurn);
+  const int dwell = peer.uniformInt(ch.dwellMinFrames, ch.dwellMaxFrames);
+  const int gap = peer.uniformInt(ch.gapMinFrames, ch.gapMaxFrames);
+  const int period = dwell + gap;
+  const int offset = period > 1 ? peer.uniformInt(0, period - 1) : 0;
+  const int phase = (frameIndex + offset) % period;
+  if (phase >= dwell) return ChurnState::Absent;
+  // Silence overlay: i.i.d. per present (frame, peer), on its own stream
+  // so it never perturbs the cycle draws above.
+  if (ch.silenceProb > 0.0) {
+    Rng silent = frameRng(peerSeed(cfg.seed, peerId), frameIndex,
+                          kChannelChurnSilence);
+    if (silent.uniform(0.0, 1.0) < ch.silenceProb) return ChurnState::Silent;
+  }
+  return ChurnState::Present;
+}
 
 bool FaultConfig::any() const {
   return frameDropProb > 0.0 || latencyProb > 0.0 || clockSkewSigma > 0.0 ||

@@ -111,9 +111,60 @@ struct FaultConfig {
   double boxTeleportProb = 0.0;
   double boxTeleportOffset = 2.5;
 
-  /// True when any fault channel is active.
+  // ---- fleet-churn channel (PR 10) ------------------------------------
+  // Per-peer join/leave/silence schedules for multi-peer drivers (the
+  // cooperation service's session-lifecycle layer, bench/fleet_churn).
+  // Like every other channel: a pure function — here of (seed, frame,
+  // peerId) — on its own decorrelated stream (channel 8), so enabling
+  // churn never re-randomizes channels 1..7, and evaluating one peer's
+  // schedule never consumes another peer's draws.
+
+  /// Peers cycle deterministically between a presence dwell and an
+  /// absence gap; per-peer period and phase derive from (seed, peerId),
+  /// so a 256-peer fleet churns staggered, not in lockstep.
+  struct ChurnConfig {
+    bool enable = false;
+    /// Consecutive frames a peer stays on the link per cycle (dwell is
+    /// drawn per peer from this inclusive range).
+    int dwellMinFrames = 8;
+    int dwellMaxFrames = 20;
+    /// Consecutive frames a peer is gone per cycle (drawn per peer).
+    int gapMinFrames = 4;
+    int gapMaxFrames = 12;
+    /// Per present frame, probability the peer is on the link but does
+    /// not transmit (radio shadowing, deadline miss at the sender) —
+    /// drawn i.i.d. per (seed, frame, peerId).
+    double silenceProb = 0.0;
+  };
+  ChurnConfig churn;
+
+  /// True when any payload-affecting fault channel is active (the churn
+  /// channel shapes which peers SEND, not what their payloads contain,
+  /// and is deliberately excluded).
   [[nodiscard]] bool any() const;
 };
+
+/// Fleet-churn schedule of one peer for one frame.
+enum class ChurnState {
+  /// The peer is out of range / parked: it contributes no input at all
+  /// (a service session, if any, accrues silent frames toward the reaper).
+  Absent,
+  /// The peer is on the link and transmitting normally.
+  Present,
+  /// The peer is on the link but did not transmit this frame (drivers
+  /// model it as a link-drop input: the session coasts but stays live).
+  Silent,
+};
+
+[[nodiscard]] const char* toString(ChurnState s);
+
+/// The churn realization of (frame, peer): a pure O(1) function of
+/// (cfg.seed at the enclosing FaultConfig, frameIndex, peerId) — no state,
+/// no history scan — so a driver can evaluate any subset of peers for any
+/// frame, in any order, and always see the same schedule. With
+/// cfg.enable == false every peer is Present every frame.
+[[nodiscard]] ChurnState churnState(const FaultConfig& cfg, int frameIndex,
+                                    std::uint64_t peerId);
 
 /// The fault realization of one frame (pure function of (seed, frame)).
 struct FrameFaults {
@@ -169,6 +220,13 @@ class FaultInjector {
   /// channel 5, replay channel 6 — fresh decorrelated streams; enabling
   /// them never re-randomizes channels 1..4).
   [[nodiscard]] AdversarialFaults adversarialFaults(int frameIndex) const;
+
+  /// Sample the churn realization of (frameIndex, peerId) — the free
+  /// churnState() over this injector's config (channel 8).
+  [[nodiscard]] ChurnState churnState(int frameIndex,
+                                      std::uint64_t peerId) const {
+    return bba::churnState(cfg_, frameIndex, peerId);
+  }
 
   /// Apply the adversarial box faults of frame `frameIndex` (fabrication +
   /// teleportation, channel 7) to a transmitted BV box set, in place.

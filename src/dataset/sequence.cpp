@@ -145,6 +145,16 @@ PeerObservation SequenceGenerator::peerObservation(int k, int peerIdx) const {
   return obs;
 }
 
+ChurnState SequenceGenerator::peerChurnState(int k, int peerIdx) const {
+  BBA_ASSERT(k >= 0 && k < cfg_.frames);
+  BBA_ASSERT(peerIdx >= 0 && peerIdx < peerCount());
+  // Keyed by the peer's stable vehicle id (not its index): the schedule
+  // of an existing peer never changes when the fleet composition does.
+  const int vehicleId =
+      world_.peerVehicleIds[static_cast<std::size_t>(peerIdx)];
+  return injector_.churnState(k, static_cast<std::uint64_t>(vehicleId));
+}
+
 std::vector<StreamFrame> SequenceGenerator::generate() const {
   std::vector<StreamFrame> out;
   out.reserve(static_cast<std::size_t>(cfg_.frames));

@@ -135,6 +135,13 @@ class SequenceGenerator {
   [[nodiscard]] Pose2 gtPeerToEgoAt(int peerIdx, double tEgo,
                                     double tPeer) const;
 
+  /// Churn schedule of peer `peerIdx` at frame k (the fault config's
+  /// churn channel keyed by the peer's stable vehicle id): whether the
+  /// peer transmits, sits silent on the link, or is absent entirely.
+  /// Pure per-(frame, peer) — evaluating one peer never consumes another
+  /// peer's stream. Always Present with churn disabled.
+  [[nodiscard]] ChurnState peerChurnState(int k, int peerIdx) const;
+
   // ---- per-role condition profiles --------------------------------------
   /// Sensor / weather in effect for peer `peerIdx`: the per-peer profile
   /// when configured, otherLidar/otherWeather otherwise. Peer 0 is also

@@ -31,6 +31,13 @@ struct PreGateConfig {
   /// Minimum fraction of the ego BV footprint area that the claimed peer
   /// footprint must cover for alignment to be attemptable.
   double minOverlapFrac = 0.02;
+  /// Once a session has a locked track, gate on the tracker's OWN
+  /// dead-reckoned prediction (PoseTracker::predictNext) instead of the
+  /// sender's claim: the service's own state cannot be spoofed, so a lying
+  /// claim can no longer keep an in-range, already-locked peer held.
+  /// Claim-based gating still applies while a session bootstraps (there is
+  /// no own-state yet) — a bootstrapping far-claim peer stays cheap.
+  bool useTrackPrior = true;
 };
 
 /// Fraction of the ego BV footprint (a square of side 2*bvRangeM centered

@@ -34,6 +34,13 @@ void appendStatsJson(std::string& out, const SessionStats& s) {
       static_cast<long long>(s.bytesReceived), s.posesReported,
       s.lastConfidence, s.pregateSkips, s.shedFrames, s.recoverSlots);
   out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      ",\"lifecycle\":{\"silent_frames\":%d,\"duplicate_rejects\":%d,"
+      "\"evictions\":%d,\"reaps\":%d,\"readmissions\":%d,\"retired\":%d}",
+      s.silentFrames, s.duplicateRejects, s.evictions, s.reaps,
+      s.readmissions, s.retired ? 1 : 0);
+  out += buf;
   out += ",\"reject_by_cause\":{";
   bool first = true;
   for (int i = 1; i < wire::kDecodeErrorCount; ++i) {
@@ -88,8 +95,9 @@ std::string ServiceReport::toJson() const {
   std::string out;
   out.reserve(512 + sessions.size() * 512);
   char buf[64];
-  std::snprintf(buf, sizeof buf, "{\"frames\":%d,\"sessions\":[",
-                framesProcessed);
+  std::snprintf(buf, sizeof buf,
+                "{\"frames\":%d,\"rejected_full\":%d,\"sessions\":[",
+                framesProcessed, rejectedFull);
   out += buf;
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     if (i > 0) out += ',';
@@ -138,6 +146,14 @@ struct CooperationService::Session {
   /// Frames since this session was last granted a recover slot (see
   /// admission.hpp: resets on grant, so the shed rotation cannot starve).
   int staleness = 0;
+  /// Consecutive service frames the peer has been absent from the inputs
+  /// (the reaper's clock; resets whenever the peer appears).
+  int silentRun = 0;
+  /// Last fresh lock (Recovered / RecoveredRelaxed), kept for the
+  /// eviction score and the readmission warm start.
+  bool hadLock = false;
+  Pose2 lastLockedPose;
+  int lastLockFrame = 0;
   // Replay guard state: metadata of the last accepted message.
   bool haveLastMeta = false;
   std::uint32_t lastFrameIndex = 0;
@@ -151,19 +167,71 @@ CooperationService::CooperationService(ServiceConfig config)
 
 CooperationService::~CooperationService() = default;
 
-CooperationService::Session& CooperationService::sessionFor(
-    std::uint64_t peerId) {
-  auto it = sessions_.find(peerId);
-  if (it == sessions_.end()) {
-    BBA_ASSERT_MSG(static_cast<int>(sessions_.size()) < cfg_.maxSessions,
-                   "session table full (ServiceConfig::maxSessions)");
-    it = sessions_
-             .emplace(peerId, std::make_unique<Session>(peerId, cfg_))
-             .first;
-    BBA_COUNTER_ADD("service.sessions_created", 1);
-    BBA_GAUGE_SET("service.sessions", static_cast<double>(sessions_.size()));
+CooperationService::Session& CooperationService::createSession(
+    std::uint64_t peerId, bool* readmitted) {
+  auto session = std::make_unique<Session>(peerId, cfg_);
+  *readmitted = false;
+  auto archived = retired_.find(peerId);
+  if (archived != retired_.end()) {
+    // A known peer returned: restore its cumulative stats and its trust
+    // FSM (an evict/return cycle never launders a quarantine record), and
+    // — when the last lock is fresh enough and the peer is trusted —
+    // warm-start the new tracker from the archived pose so the returning
+    // peer re-locks through the normal ladder instead of bootstrapping
+    // blind. The RNG stream restarts from (seed, peerId) as on any fresh
+    // session: readmission is deterministic by construction.
+    const RetiredSession& r = archived->second;
+    session->stats = r.stats;
+    session->stats.retired = false;
+    session->stats.readmissions += 1;
+    session->health = r.health;
+    session->hadLock = r.hadLock;
+    session->lastLockedPose = r.lastLockedPose;
+    session->lastLockFrame = r.lastLockFrame;
+    session->haveLastMeta = r.haveLastMeta;
+    session->lastFrameIndex = r.lastFrameIndex;
+    session->lastCaptureMicros = r.lastCaptureMicros;
+    if (cfg_.lifecycle.warmStartReadmissions && r.hadLock &&
+        frames_ - r.lastLockFrame <= cfg_.lifecycle.warmStartMaxGapFrames &&
+        r.health.shouldProcess()) {
+      session->tracker.acceptExternalPose(r.lastLockedPose);
+      BBA_COUNTER_ADD("session.warm_started", 1);
+    }
+    retired_.erase(archived);
+    *readmitted = true;
+    BBA_COUNTER_ADD("session.readmitted", 1);
+  } else {
+    BBA_COUNTER_ADD("session.admitted", 1);
   }
+  auto it = sessions_.emplace(peerId, std::move(session)).first;
+  BBA_COUNTER_ADD("service.sessions_created", 1);
+  BBA_GAUGE_SET("service.sessions", static_cast<double>(sessions_.size()));
+  BBA_GAUGE_SET("session.retired", static_cast<double>(retired_.size()));
   return *it->second;
+}
+
+void CooperationService::retireSession(std::uint64_t peerId) {
+  auto it = sessions_.find(peerId);
+  BBA_ASSERT_MSG(it != sessions_.end(), "retireSession: unknown peer");
+  Session& s = *it->second;
+  RetiredSession r;
+  r.stats = s.stats;
+  r.stats.retired = true;
+  r.health = s.health;
+  r.hadLock = s.hadLock;
+  r.lastLockedPose = s.lastLockedPose;
+  r.lastLockFrame = s.lastLockFrame;
+  r.retiredAtFrame = frames_;
+  r.haveLastMeta = s.haveLastMeta;
+  r.lastFrameIndex = s.lastFrameIndex;
+  r.lastCaptureMicros = s.lastCaptureMicros;
+  BBA_HISTOGRAM_OBSERVE(
+      "session.lifetime_frames",
+      static_cast<double>(r.stats.frames + r.stats.silentFrames));
+  retired_[peerId] = std::move(r);
+  sessions_.erase(it);
+  BBA_GAUGE_SET("service.sessions", static_cast<double>(sessions_.size()));
+  BBA_GAUGE_SET("session.retired", static_cast<double>(retired_.size()));
 }
 
 std::vector<std::uint8_t> CooperationService::sendFrame(
@@ -180,19 +248,70 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
     const std::vector<PeerFrameInput>& inputs) {
   BBA_SPAN("service.processFrame");
   const std::int64_t n = static_cast<std::int64_t>(inputs.size());
-  {
-    std::unordered_set<std::uint64_t> ids;
-    for (const PeerFrameInput& in : inputs) {
-      BBA_ASSERT_MSG(ids.insert(in.peerId).second,
-                     "duplicate peerId within one processFrame call");
-    }
-  }
+  std::vector<SessionFrameResult> results(inputs.size());
+  std::vector<Session*> bySlot(inputs.size(), nullptr);
 
-  // Session creation is serial; the parallel region below only ever
-  // touches sessions that already exist.
-  std::vector<Session*> bySlot(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i)
-    bySlot[i] = &sessionFor(inputs[i].peerId);
+  // ---- Session admission (serial, deterministic) -----------------------
+  // Typed outcomes, never asserts: a repeated peer id within one call is
+  // rejected (first occurrence wins), a newcomer auto-registers into a
+  // free slot, and under maxSessions pressure either displaces the most
+  // evictable ABSENT session (pure score, id tiebreak — see
+  // session_lifecycle.hpp) or is rejected for this frame. Sessions whose
+  // peers are present this frame are never evicted.
+  std::unordered_set<std::uint64_t> presentIds;
+  presentIds.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    results[i].peerId = inputs[i].peerId;
+    if (!presentIds.insert(inputs[i].peerId).second)
+      results[i].admission = SessionAdmission::RejectedDuplicate;
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::uint64_t peerId = inputs[i].peerId;
+    SessionFrameResult& res = results[i];
+    if (res.admission == SessionAdmission::RejectedDuplicate) continue;
+    auto it = sessions_.find(peerId);
+    if (it != sessions_.end()) {
+      res.admission = SessionAdmission::Existing;
+      bySlot[i] = it->second.get();
+      continue;
+    }
+    if (static_cast<int>(sessions_.size()) >= cfg_.maxSessions) {
+      std::optional<std::uint64_t> victim;
+      if (cfg_.lifecycle.enableEviction) {
+        std::vector<EvictionCandidate> candidates;
+        candidates.reserve(sessions_.size());
+        for (const auto& [id, s] : sessions_) {
+          if (presentIds.count(id) != 0) continue;  // present: protected
+          EvictionCandidate c;
+          c.peerId = id;
+          c.health = s->health.state();
+          c.silentRunFrames = s->silentRun;
+          c.lockStaleFrames =
+              s->hadLock ? frames_ - s->lastLockFrame : frames_;
+          c.hasTrack = s->tracker.hasTrack();
+          c.lastConfidence = s->stats.lastConfidence;
+          candidates.push_back(c);
+        }
+        victim = pickEvictionVictim(candidates, cfg_.lifecycle);
+      }
+      if (!victim) {
+        res.admission = SessionAdmission::RejectedFull;
+        rejectedFull_ += 1;
+        BBA_COUNTER_ADD("session.rejected_full", 1);
+        continue;
+      }
+      sessions_.at(*victim)->stats.evictions += 1;
+      retireSession(*victim);
+      BBA_COUNTER_ADD("session.evicted", 1);
+      res.admission = SessionAdmission::AdmittedEvicting;
+      res.evictedPeerId = *victim;
+    } else {
+      res.admission = SessionAdmission::Admitted;
+    }
+    bool readmitted = false;
+    bySlot[i] = &createSession(peerId, &readmitted);
+    res.readmission = readmitted;
+  }
 
   // ---- Admission (serial, deterministic) -------------------------------
   // Stage 1, spatial pre-gate: peek each payload's wire prefix (framing +
@@ -204,6 +323,7 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   // spoofed claim can waste at most its own session's slot.
   struct Admission {
     bool pregateSkipped = false;
+    bool priorFromTrack = false;
     bool shed = false;
     bool hasPeekClaim = false;
     Pose2 peekClaim;
@@ -214,6 +334,7 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   const double bvRange = cfg_.tracker.aligner.bev.range;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     const PeerFrameInput& in = inputs[i];
+    if (bySlot[i] == nullptr) continue;  // rejected: no session this frame
     if (in.payload == nullptr) continue;  // link drop: coasts, no slot
     if (cfg_.enableHealth && !bySlot[i]->health.shouldProcess())
       continue;  // quarantined: excluded entirely, not even peeked
@@ -223,10 +344,20 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       if (pk.error == wire::DecodeError::None && pk.hasPosePrior) {
         adm.hasPeekClaim = true;
         adm.peekClaim = pk.posePrior;
-        if (!preGateAdmits(pk.posePrior, bvRange, cfg_.pregate)) {
-          adm.pregateSkipped = true;
-          continue;
-        }
+      }
+      // Once the session is locked, gate on OUR dead-reckoned prediction
+      // instead of the sender's word: a lying claim cannot keep an
+      // in-range, already-locked peer held. Claims still gate
+      // bootstrapping sessions (no own-state yet to predict from).
+      std::optional<Pose2> gatePose;
+      if (cfg_.pregate.useTrackPrior && bySlot[i]->tracker.hasTrack()) {
+        gatePose = bySlot[i]->tracker.predictNext();
+        adm.priorFromTrack = gatePose.has_value();
+      }
+      if (!gatePose && adm.hasPeekClaim) gatePose = adm.peekClaim;
+      if (gatePose && !preGateAdmits(*gatePose, bvRange, cfg_.pregate)) {
+        adm.pregateSkipped = true;
+        continue;
       }
     }
     candidates.push_back({in.peerId, bySlot[i]->staleness, i});
@@ -251,6 +382,7 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   }
   bool anyGranted = false;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (bySlot[i] == nullptr) continue;
     Session& session = *bySlot[i];
     if (granted[i]) {
       session.staleness = 0;
@@ -285,13 +417,13 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
   // session exclusively (ids are distinct), so chunk grain 1 gives one
   // independent task per session and results are byte-identical at any
   // thread count.
-  std::vector<SessionFrameResult> results(inputs.size());
   parallelFor(0, n, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t i = b; i < e; ++i) {
       const PeerFrameInput& in = inputs[static_cast<std::size_t>(i)];
+      if (bySlot[static_cast<std::size_t>(i)] == nullptr)
+        continue;  // typed rejection: no session, no tracker step
       Session& session = *bySlot[static_cast<std::size_t>(i)];
       SessionFrameResult& res = results[static_cast<std::size_t>(i)];
-      res.peerId = in.peerId;
       if (cfg_.enableHealth && !session.health.shouldProcess()) {
         // Quarantined: the payload is not even decoded — exclusion is the
         // whole point. The FSM's backoff counts down in the merge below.
@@ -311,6 +443,7 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
         res.received = true;
         res.payloadBytes = in.payload->size();
         res.pregateSkipped = adm.pregateSkipped;
+        res.pregatePriorFromTrack = adm.priorFromTrack;
         res.shed = adm.shed;
         if (adm.hasPeekClaim) {
           res.hasClaim = true;
@@ -321,6 +454,7 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       }
       res.received = true;
       res.payloadBytes = in.payload->size();
+      res.pregatePriorFromTrack = adm.priorFromTrack;
       wire::DecodeResult decoded = wire::decode(*in.payload);
       res.decodeError = decoded.error;
       if (decoded.error != wire::DecodeError::None) {
@@ -422,6 +556,14 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
     SessionFrameResult& res = results[found->second];
     SessionStats& st = session->stats;
     st.frames += 1;
+    session->silentRun = 0;  // the peer showed up: the reaper clock resets
+    if (!res.quarantined &&
+        (res.track.outcome == TrackerOutcome::Recovered ||
+         res.track.outcome == TrackerOutcome::RecoveredRelaxed)) {
+      session->hadLock = true;
+      session->lastLockedPose = res.track.pose;
+      session->lastLockFrame = frames_;
+    }
     if (res.quarantined) {
       st.quarantinedFrames += 1;
       BBA_COUNTER_ADD("health.quarantined_frames", 1);
@@ -431,6 +573,8 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       if (res.pregateSkipped) {
         st.pregateSkips += 1;
         BBA_COUNTER_ADD("service.pregate_skipped", 1);
+        if (res.pregatePriorFromTrack)
+          BBA_COUNTER_ADD("service.pregate_track_prior", 1);
       } else if (res.shed) {
         st.shedFrames += 1;
         BBA_COUNTER_ADD("service.shed", 1);
@@ -513,6 +657,36 @@ std::vector<SessionFrameResult> CooperationService::processFrame(
       res.health = PeerHealth::Healthy;
     }
   }
+  // Duplicate accounting (serial, input order): the rejection is typed on
+  // the result; the tally lands on the peer's session when one exists.
+  for (const SessionFrameResult& res : results) {
+    if (res.admission != SessionAdmission::RejectedDuplicate) continue;
+    BBA_COUNTER_ADD("session.duplicate_rejected", 1);
+    auto dup = sessions_.find(res.peerId);
+    if (dup != sessions_.end()) dup->second->stats.duplicateRejects += 1;
+  }
+
+  // Silent-peer reaper (serial, id order, logical frame counts only): a
+  // session whose peer sat out this frame ages one silent frame; past
+  // maxSilentFrames it is retired — archived for a possible return, slot
+  // freed. Survivors' RNG streams, trackers and stats are untouched: a
+  // reap changes which ids EXIST, never what the others compute.
+  std::vector<std::uint64_t> reap;
+  for (auto& [peerId, session] : sessions_) {
+    if (presentIds.count(peerId) != 0) continue;
+    session->silentRun += 1;
+    session->stats.silentFrames += 1;
+    BBA_COUNTER_ADD("session.silent_frames", 1);
+    if (cfg_.lifecycle.maxSilentFrames > 0 &&
+        session->silentRun > cfg_.lifecycle.maxSilentFrames)
+      reap.push_back(peerId);
+  }
+  for (std::uint64_t peerId : reap) {
+    sessions_.at(peerId)->stats.reaps += 1;
+    retireSession(peerId);
+    BBA_COUNTER_ADD("session.reaped", 1);
+  }
+
   frames_ += 1;
   BBA_COUNTER_ADD("service.frames", 1);
   BBA_COUNTER_ADD("service.inputs", n);
@@ -545,10 +719,10 @@ map::InsertResult CooperationService::recordEgoKeyframe(
 ServiceReport CooperationService::report() const {
   ServiceReport rep;
   rep.framesProcessed = frames_;
-  rep.sessions.reserve(sessions_.size());
+  rep.rejectedFull = rejectedFull_;
+  rep.sessions.reserve(sessions_.size() + retired_.size());
   double confidenceSum = 0.0;
-  for (const auto& [peerId, session] : sessions_) {
-    const SessionStats& st = session->stats;
+  const auto addRow = [&](const SessionStats& st) {
     rep.sessions.push_back(st);
     rep.aggregate.frames += st.frames;
     rep.aggregate.linkDrops += st.linkDrops;
@@ -564,6 +738,11 @@ ServiceReport CooperationService::report() const {
     rep.aggregate.pregateSkips += st.pregateSkips;
     rep.aggregate.shedFrames += st.shedFrames;
     rep.aggregate.recoverSlots += st.recoverSlots;
+    rep.aggregate.silentFrames += st.silentFrames;
+    rep.aggregate.duplicateRejects += st.duplicateRejects;
+    rep.aggregate.evictions += st.evictions;
+    rep.aggregate.reaps += st.reaps;
+    rep.aggregate.readmissions += st.readmissions;
     rep.aggregate.suspicion += st.suspicion;
     rep.aggregate.quarantines += st.quarantines;
     rep.aggregate.quarantinedFrames += st.quarantinedFrames;
@@ -575,7 +754,11 @@ ServiceReport CooperationService::report() const {
       for (std::size_t b = 0; b < st.healthTransitions[a].size(); ++b)
         rep.aggregate.healthTransitions[a][b] += st.healthTransitions[a][b];
     confidenceSum += st.lastConfidence;
-  }
+  };
+  // Live rows first, then the retired archive — each id-ordered, so the
+  // report (and its JSON) is byte-identical across runs and thread counts.
+  for (const auto& [peerId, session] : sessions_) addRow(session->stats);
+  for (const auto& [peerId, r] : retired_) addRow(r.stats);
   if (!rep.sessions.empty())
     rep.aggregate.lastConfidence =
         confidenceSum / static_cast<double>(rep.sessions.size());

@@ -14,6 +14,7 @@
 #include "map/keyframe_store.hpp"
 #include "service/admission.hpp"
 #include "service/peer_health.hpp"
+#include "service/session_lifecycle.hpp"
 #include "stream/pose_tracker.hpp"
 #include "wire/message.hpp"
 
@@ -30,8 +31,15 @@ struct ServiceConfig {
   /// stream from (seed, peerId), so adding or removing one peer never
   /// perturbs another peer's results.
   std::uint64_t seed = 1;
-  /// Hard cap on concurrent sessions (asserted on session creation).
+  /// Hard cap on concurrent sessions. Never asserted: when the table is
+  /// full, a newcomer either displaces the most evictable idle session
+  /// (see LifecycleConfig) or is rejected for the frame with a typed
+  /// SessionAdmission::RejectedFull — fleet churn is traffic, not a bug.
   int maxSessions = 64;
+  /// Session lifecycle: deterministic eviction under maxSessions pressure,
+  /// the silent-peer reaper, and reconnect warm starts (all clocks are
+  /// logical frame counts — see service/session_lifecycle.hpp).
+  LifecycleConfig lifecycle;
   /// When a message from a still-bootstrapping session carries a pose
   /// prior, inject it via PoseTracker::acceptExternalPose before the
   /// update — the peer's own estimate (GPS, a previous lock) warm-starts
@@ -96,6 +104,17 @@ struct PeerFrameInput {
 /// What one session produced for one service frame.
 struct SessionFrameResult {
   std::uint64_t peerId = 0;
+  /// How this input was admitted into the session table (see
+  /// service/session_lifecycle.hpp). RejectedFull and RejectedDuplicate
+  /// inputs get no session and no tracker step: every other field of this
+  /// result keeps its default.
+  SessionAdmission admission = SessionAdmission::Existing;
+  /// This admission restored an archived (evicted or reaped) session:
+  /// stats and trust state carried over, tracker optionally warm-started.
+  bool readmission = false;
+  /// Valid when admission == AdmittedEvicting: the peer whose session was
+  /// retired to make room.
+  std::uint64_t evictedPeerId = 0;
   /// A payload arrived (it may still have failed to decode).
   bool received = false;
   wire::DecodeError decodeError = wire::DecodeError::None;
@@ -115,6 +134,10 @@ struct SessionFrameResult {
   /// held its track (TrackerOutcome::Held) at zero recover() cost. The
   /// claim below is the peeked one.
   bool pregateSkipped = false;
+  /// The pre-gate decision above was taken on the tracker's own
+  /// dead-reckoned prediction (PreGateConfig::useTrackPrior), not the
+  /// sender's claim.
+  bool pregatePriorFromTrack = false;
   /// The payload arrived and was admitted, but the frame's recover budget
   /// was exhausted before this session's turn: the session held its track
   /// this frame and is first in line next frame.
@@ -158,6 +181,22 @@ struct SessionStats {
   /// Frames this session was granted a decode+recover slot.
   int recoverSlots = 0;
 
+  // ---- session lifecycle accounting (PR 10) ----------------------------
+  /// Service frames this session sat in the table with its peer absent
+  /// from the inputs (the silent run the reaper counts against).
+  int silentFrames = 0;
+  /// Later same-frame occurrences of this peer id rejected as duplicates.
+  int duplicateRejects = 0;
+  /// Times this peer's session was evicted to make room for a newcomer.
+  int evictions = 0;
+  /// Times this peer's session was retired by the silent-peer reaper.
+  int reaps = 0;
+  /// Times an evicted/reaped session of this peer was restored on return.
+  int readmissions = 0;
+  /// Snapshot flag: this stats row describes a retired (archived) session
+  /// whose peer has not returned. Live rows report false.
+  bool retired = false;
+
   // ---- trust / health accounting (PR 5) --------------------------------
   /// FSM state after the session's latest frame.
   PeerHealth health = PeerHealth::Healthy;
@@ -179,6 +218,11 @@ struct SessionStats {
 /// order plus their aggregate.
 struct ServiceReport {
   int framesProcessed = 0;
+  /// Inputs dropped because the table was full and nothing was evictable
+  /// (service-level: a rejected peer has no session row to carry it).
+  int rejectedFull = 0;
+  /// Live sessions first, then retired (archived, not readmitted) ones,
+  /// each group in session-id order; retired rows have stats.retired set.
   std::vector<SessionStats> sessions;
   /// Field-wise sum over `sessions` (peerId 0; lastConfidence is the
   /// mean of the sessions' last confidences).
@@ -238,14 +282,21 @@ class CooperationService {
   /// peer's payload, run each session's tracker step (cross-session
   /// parallel), and return one result per input, in input order. Skipped
   /// and shed sessions hold their track (TrackerOutcome::Held) without a
-  /// decode or recover. Peer ids within one call must be distinct.
-  /// Sessions are created on first sight of a peer id.
+  /// decode or recover. Sessions are created on first sight of a peer id
+  /// (evicting the most evictable idle session when the table is full);
+  /// each result's `admission` field says how its input was handled —
+  /// repeated peer ids within one call and unadmittable newcomers are
+  /// typed rejections, never asserts.
   std::vector<SessionFrameResult> processFrame(
       const CarPerceptionData& ego,
       const std::vector<PeerFrameInput>& inputs);
 
   [[nodiscard]] int sessionCount() const {
     return static_cast<int>(sessions_.size());
+  }
+  /// Archived (evicted or reaped, not yet readmitted) sessions.
+  [[nodiscard]] int retiredCount() const {
+    return static_cast<int>(retired_.size());
   }
   [[nodiscard]] int framesProcessed() const { return frames_; }
 
@@ -275,7 +326,29 @@ class CooperationService {
 
  private:
   struct Session;
-  Session& sessionFor(std::uint64_t peerId);
+  /// Archived state of an evicted/reaped session, kept for readmission:
+  /// the cumulative stats, the trust FSM (a quarantined peer cannot
+  /// launder its record through an evict/return cycle) and the last lock
+  /// for the optional warm start.
+  struct RetiredSession {
+    SessionStats stats;
+    PeerHealthFsm health;
+    bool hadLock = false;
+    Pose2 lastLockedPose;
+    int lastLockFrame = 0;
+    int retiredAtFrame = 0;
+    // Replay-guard metadata survives retirement: an evict/return cycle
+    // must not reopen the session to replays of its own old traffic.
+    bool haveLastMeta = false;
+    std::uint32_t lastFrameIndex = 0;
+    std::int64_t lastCaptureMicros = 0;
+  };
+
+  /// Create (or restore from the retirement archive) the session for
+  /// `peerId`. Precondition: no live session for the id and a free slot.
+  Session& createSession(std::uint64_t peerId, bool* readmitted);
+  /// Move a live session into the retirement archive and free its slot.
+  void retireSession(std::uint64_t peerId);
 
   ServiceConfig cfg_;
   /// Computes the shared per-frame ego features; configured identically to
@@ -285,8 +358,10 @@ class CooperationService {
   EgoFeatureCache egoCache_;
   int frames_ = 0;
   bba::map::KeyframeStore* mapStore_ = nullptr;  ///< not owned
-  // Ordered map: iteration order == session-id order == merge order.
+  int rejectedFull_ = 0;
+  // Ordered maps: iteration order == session-id order == merge order.
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::map<std::uint64_t, RetiredSession> retired_;
 };
 
 }  // namespace bba::service

@@ -1,0 +1,71 @@
+#include "service/session_lifecycle.hpp"
+
+#include <algorithm>
+
+namespace bba::service {
+
+const char* toString(SessionAdmission a) {
+  switch (a) {
+    case SessionAdmission::Existing:
+      return "existing";
+    case SessionAdmission::Admitted:
+      return "admitted";
+    case SessionAdmission::AdmittedEvicting:
+      return "admitted_evicting";
+    case SessionAdmission::RejectedFull:
+      return "rejected_full";
+    case SessionAdmission::RejectedDuplicate:
+      return "rejected_duplicate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double healthTerm(PeerHealth h, const LifecycleConfig& cfg) {
+  switch (h) {
+    case PeerHealth::Quarantined:
+      return cfg.weightQuarantined;
+    case PeerHealth::Suspect:
+      return cfg.weightSuspect;
+    case PeerHealth::Probing:
+      return cfg.weightProbing;
+    case PeerHealth::Healthy:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double evictionScore(const EvictionCandidate& c, const LifecycleConfig& cfg) {
+  const double conf = std::clamp(c.lastConfidence, 0.0, 1.0);
+  const int stale =
+      std::min(std::max(c.lockStaleFrames, 0), cfg.lockStalenessCapFrames);
+  double score = healthTerm(c.health, cfg);
+  score += cfg.weightSilentFrame * static_cast<double>(std::max(c.silentRunFrames, 0));
+  score += cfg.weightLockStaleFrame * static_cast<double>(stale);
+  if (!c.hasTrack) score += cfg.weightNoTrack;
+  score += cfg.weightLowConfidence * (1.0 - conf);
+  return score;
+}
+
+std::optional<std::uint64_t> pickEvictionVictim(
+    const std::vector<EvictionCandidate>& candidates,
+    const LifecycleConfig& cfg) {
+  std::optional<std::uint64_t> best;
+  double bestScore = 0.0;
+  for (const auto& c : candidates) {
+    const double s = evictionScore(c, cfg);
+    if (s < cfg.minEvictionScore) continue;
+    // Strict total order: score desc, peerId asc — input order never
+    // changes the pick.
+    if (!best || s > bestScore || (s == bestScore && c.peerId < *best)) {
+      best = c.peerId;
+      bestScore = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace bba::service

@@ -314,6 +314,13 @@ class PoseTracker {
   /// True once at least one pose has been accepted and the track has not
   /// been lost since.
   [[nodiscard]] bool hasTrack() const { return !history_.empty(); }
+  /// Most recently accepted pose (measurement or external injection);
+  /// nullopt without a track. This is the raw accept, not a prediction —
+  /// callers wanting the dead-reckoned current pose use predictNext().
+  [[nodiscard]] std::optional<Pose2> lastAcceptedPose() const {
+    if (history_.empty()) return std::nullopt;
+    return history_.back().pose;
+  }
   [[nodiscard]] int consecutiveMisses() const { return misses_; }
   /// Consecutive skipFrame() steps since the last accepted measurement.
   [[nodiscard]] int consecutiveSkips() const { return skips_; }

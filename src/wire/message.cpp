@@ -375,7 +375,11 @@ MessagePeek peek(const std::uint8_t* data, std::size_t size) {
       out.posePrior = msg.posePrior;
     }
   }
-  if (out.error != DecodeError::None) out = MessagePeek{out.error};
+  if (out.error != DecodeError::None) {
+    MessagePeek clean;
+    clean.error = out.error;
+    out = clean;
+  }
   BBA_COUNTER_ADD("wire.peeks", 1);
   return out;
 }

@@ -81,20 +81,50 @@ TEST(ServiceDecode, CreatesSessionsAndCountsCauses) {
   EXPECT_EQ(rep.aggregate.payloadMismatch, 1);
 }
 
-TEST(ServiceDecode, DuplicatePeerIdsAreRejected) {
+TEST(ServiceDecode, DuplicatePeerIdsAreTypedRejections) {
+  // PR 10: a repeated peer id within one call is traffic, not a bug — the
+  // first occurrence is processed, every later one is a typed rejection
+  // surfaced in the result and tallied on the peer's SessionStats.
   CooperationService svc;
   const CarPerceptionData ego;
-  const std::vector<PeerFrameInput> inputs = {{5, nullptr}, {5, nullptr}};
-  EXPECT_THROW((void)svc.processFrame(ego, inputs), AssertionError);
+  const std::vector<std::uint8_t> payload = tinyPayload(5, 0);
+  const std::vector<PeerFrameInput> inputs = {{5, &payload}, {5, nullptr}};
+  const std::vector<SessionFrameResult> results =
+      svc.processFrame(ego, inputs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].admission, SessionAdmission::Admitted);
+  EXPECT_TRUE(results[0].received);
+  EXPECT_EQ(results[1].admission, SessionAdmission::RejectedDuplicate);
+  EXPECT_FALSE(results[1].received);
+  EXPECT_EQ(svc.sessionCount(), 1);
+  const ServiceReport rep = svc.report();
+  ASSERT_EQ(rep.sessions.size(), 1u);
+  EXPECT_EQ(rep.sessions[0].frames, 1);  // only the first occurrence counts
+  EXPECT_EQ(rep.sessions[0].duplicateRejects, 1);
 }
 
-TEST(ServiceDecode, SessionCapIsEnforced) {
+TEST(ServiceDecode, SessionCapRejectsOrEvictsTyped) {
+  // A full table with every incumbent present this frame (protected from
+  // eviction) rejects the newcomer with a typed outcome; when the
+  // incumbents sit out, the most evictable one is displaced instead.
   ServiceConfig cfg;
   cfg.maxSessions = 2;
   CooperationService svc(cfg);
   const CarPerceptionData ego;
   (void)svc.processFrame(ego, {{1, nullptr}, {2, nullptr}});
-  EXPECT_THROW((void)svc.processFrame(ego, {{3, nullptr}}), AssertionError);
+  auto full = svc.processFrame(ego, {{1, nullptr}, {2, nullptr}, {3, nullptr}});
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_EQ(full[2].admission, SessionAdmission::RejectedFull);
+  EXPECT_EQ(svc.sessionCount(), 2);
+  EXPECT_EQ(svc.report().rejectedFull, 1);
+  // Peers 1 and 2 sit out: both are idle, trackless and silent — peer 3
+  // displaces the lowest-id highest-scoring victim (1).
+  auto evicting = svc.processFrame(ego, {{3, nullptr}});
+  ASSERT_EQ(evicting.size(), 1u);
+  EXPECT_EQ(evicting[0].admission, SessionAdmission::AdmittedEvicting);
+  EXPECT_EQ(evicting[0].evictedPeerId, 1u);
+  EXPECT_EQ(svc.sessionCount(), 2);
+  EXPECT_EQ(svc.retiredCount(), 1);
 }
 
 TEST(ServiceDecode, ReportJsonIsIdenticalAt1And8Threads) {

@@ -8,10 +8,11 @@
    src/obs/report.hpp), every ``wire::DecodeError`` enumerator (parsed
    from src/wire/frame.hpp), every world-preset name (parsed from
    src/sim/presets.cpp), every lidar-profile name (parsed from
-   src/lidar/conditions.cpp), and every ``stream.*`` / ``wire.*`` /
-   ``service.*`` / ``health.*`` / ``validate.*`` / ``cache.*`` /
-   ``fastpath.*`` / ``map.*`` metric name (parsed from the emitting
-   sources) must
+   src/lidar/conditions.cpp), every ``SessionAdmission`` outcome (parsed
+   from src/service/session_lifecycle.cpp), and every ``stream.*`` /
+   ``wire.*`` / ``service.*`` / ``session.*`` / ``health.*`` /
+   ``validate.*`` / ``cache.*`` / ``fastpath.*`` / ``map.*`` metric name
+   (parsed from the emitting sources) must
    appear somewhere in the checked documents — the docs may not silently
    fall behind the code.
 3. Generated-block gate: the scenario-matrix block of EXPERIMENTS.md must
@@ -136,6 +137,27 @@ def service_metric_names() -> list:
         names.update(re.findall(r"\"(service\.\w+)\"", src.read_text(
             encoding="utf-8")))
     return sorted(names)
+
+
+def session_metric_names() -> list:
+    """session.* counters/gauges/histograms (lifecycle layer, PR 10)."""
+    names = set()
+    for src in sorted((REPO / "src" / "service").glob("*.cpp")):
+        names.update(re.findall(r"\"(session\.\w+)\"", src.read_text(
+            encoding="utf-8")))
+    return sorted(names)
+
+
+def session_admission_strings() -> list:
+    """String forms of the SessionAdmission outcomes (from toString)."""
+    source = (REPO / "src" / "service" / "session_lifecycle.cpp").read_text(
+        encoding="utf-8")
+    names = re.findall(r"case SessionAdmission::\w+:\s*return \"(\w+)\";",
+                       source)
+    if not names:
+        sys.exit("check_docs: cannot find SessionAdmission strings in "
+                 "session_lifecycle.cpp")
+    return names
 
 
 def health_metric_names() -> list:
@@ -274,9 +296,9 @@ def main() -> int:
                 f"DecodeError value '{name}' is undocumented "
                 f"(not found in any checked document)")
     for name in (wire_metric_names() + service_metric_names()
-                 + health_metric_names() + validate_metric_names()
-                 + cache_metric_names() + fastpath_metric_names()
-                 + map_metric_names()):
+                 + session_metric_names() + health_metric_names()
+                 + validate_metric_names() + cache_metric_names()
+                 + fastpath_metric_names() + map_metric_names()):
         if name not in corpus:
             errors.append(
                 f"metric '{name}' is undocumented "
@@ -285,6 +307,11 @@ def main() -> int:
         if name not in corpus:
             errors.append(
                 f"PeerHealth state '{name}' is undocumented "
+                f"(not found in any checked document)")
+    for name in session_admission_strings():
+        if name not in corpus:
+            errors.append(
+                f"SessionAdmission outcome '{name}' is undocumented "
                 f"(not found in any checked document)")
     for name in tracker_outcome_strings():
         if name not in corpus:
@@ -309,7 +336,8 @@ def main() -> int:
             print(f"  {e}")
         return 1
     metric_count = (len(stream_metric_names()) + len(wire_metric_names())
-                    + len(service_metric_names()) + len(health_metric_names())
+                    + len(service_metric_names())
+                    + len(session_metric_names()) + len(health_metric_names())
                     + len(validate_metric_names()) + len(cache_metric_names())
                     + len(fastpath_metric_names()) + len(map_metric_names()))
     print(f"docs-health: OK ({len(DOCS)} documents, "
